@@ -1,0 +1,91 @@
+// Microbenchmarks (google-benchmark): cost of the substrate primitives.
+// These bound the simulator's capacity and show the controller's O(1)
+// per-event cost — the "constant space, constant time" implementation
+// claim.
+#include <benchmark/benchmark.h>
+
+#include "atm/cell.h"
+#include "core/phantom_controller.h"
+#include "core/residual_filter.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "tcp/tcp_sink.h"
+
+namespace {
+
+using namespace phantom;
+using sim::Rate;
+using sim::Time;
+
+void BM_EventQueueSchedulePop(benchmark::State& state) {
+  sim::EventQueue q;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    q.schedule(Time::ns(t += 7), [] {});
+    if (q.size() > 1000) q.pop();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueSchedulePop);
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  // Cost of a full schedule->dispatch cycle with a self-rescheduling
+  // event, the hot path of every model.
+  sim::Simulator sim;
+  std::uint64_t count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    sim.schedule(Time::ns(10), tick);
+  };
+  sim.schedule(Time::ns(10), tick);
+  Time horizon = Time::zero();
+  for (auto _ : state) {
+    horizon += Time::us(10);  // 1000 events per iteration
+    sim.run_until(horizon);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+void BM_ResidualFilterUpdate(benchmark::State& state) {
+  core::ResidualFilter filter{Rate::mbps(150), core::PhantomConfig{}};
+  double load = 0;
+  for (auto _ : state) {
+    load = load > 140e6 ? 0 : load + 1e6;
+    benchmark::DoNotOptimize(filter.update(Rate::bps(load)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ResidualFilterUpdate);
+
+void BM_PhantomBackwardRm(benchmark::State& state) {
+  sim::Simulator sim;
+  core::PhantomController ctl{sim, Rate::mbps(150)};
+  atm::Cell brm = atm::Cell::forward_rm(1, Rate::mbps(10), Rate::mbps(150));
+  brm.kind = atm::CellKind::kBackwardRm;
+  for (auto _ : state) {
+    brm.er = Rate::mbps(150);
+    ctl.on_backward_rm(brm, 10);
+    benchmark::DoNotOptimize(brm.er);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PhantomBackwardRm);
+
+void BM_TcpSinkInOrder(benchmark::State& state) {
+  sim::Simulator sim;
+  std::uint64_t acks = 0;
+  tcp::TcpSink sink{sim, 1, [&acks](tcp::Packet) { ++acks; }};
+  std::int64_t seq = 0;
+  for (auto _ : state) {
+    sink.receive_packet(tcp::Packet::data(1, seq, 512));
+    seq += 512;
+  }
+  benchmark::DoNotOptimize(acks);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TcpSinkInOrder);
+
+}  // namespace
+
+BENCHMARK_MAIN();

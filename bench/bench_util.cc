@@ -1,0 +1,46 @@
+#include "bench_util.h"
+
+namespace phantom::bench {
+
+TcpRun run_tcp_bottleneck(tcp::PolicyFactory policy, std::size_t queue_limit) {
+  using sim::Rate;
+  using sim::Time;
+  sim::Simulator sim;
+  tcp::TcpNetwork net{sim};
+  const auto r = net.add_router("r0");
+  tcp::TcpTrunkOptions opts;
+  opts.queue_limit = queue_limit;
+  opts.policy = std::move(policy);
+  const auto s = net.add_sink_node(r, opts);
+  const Time delays[] = {Time::ms(3), Time::ms(6), Time::ms(12), Time::ms(24)};
+  for (const Time d : delays) {
+    net.add_flow(r, {}, s, tcp::RenoConfig{}, Rate::mbps(100), d);
+  }
+  net.start_all(Time::zero(), Time::ms(73));
+  const Time settle = Time::sec(3), horizon = Time::sec(12);
+  sim.run_until(settle);
+  std::vector<std::int64_t> base;
+  for (std::size_t f = 0; f < net.num_flows(); ++f) {
+    base.push_back(net.delivered_bytes(f));
+  }
+  TcpRun out;
+  std::size_t samples = 0;
+  std::function<void()> sample = [&] {
+    out.mean_queue += static_cast<double>(net.sink_port(s).queue_length());
+    ++samples;
+    sim.schedule(Time::ms(5), sample);
+  };
+  sim.schedule(Time::zero(), sample);
+  sim.run_until(horizon);
+  out.mean_queue /= static_cast<double>(samples);
+  for (std::size_t f = 0; f < net.num_flows(); ++f) {
+    out.mbps.push_back(static_cast<double>(net.delivered_bytes(f) - base[f]) *
+                       8.0 / (horizon - settle).seconds() / 1e6);
+    out.total += out.mbps.back();
+  }
+  out.jain = stats::jain_index(out.mbps);
+  out.max_queue = net.sink_port(s).max_queue_length();
+  return out;
+}
+
+}  // namespace phantom::bench

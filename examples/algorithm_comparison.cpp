@@ -1,0 +1,64 @@
+// Head-to-head: Phantom vs the three ATM Forum baselines (§5).
+//
+// Same single-bottleneck scenario for each algorithm (5 greedy ABR
+// sessions, 150 Mb/s link). The table reports what the paper's §5
+// figures show per algorithm: steady-state goodput per session, Jain
+// fairness, transient peak queue, steady queue, and early goodput
+// (a convergence-speed proxy).
+#include <cstdio>
+
+#include "exp/factories.h"
+#include "exp/probes.h"
+#include "exp/report.h"
+#include "sim/simulator.h"
+#include "stats/fairness.h"
+#include "topo/abr_network.h"
+
+using namespace phantom;
+using sim::Rate;
+using sim::Time;
+
+int main() {
+  exp::print_header("algorithm-comparison",
+                    "5 greedy sessions, one 150 Mb/s link, each algorithm");
+  exp::Table table{{"algorithm", "goodput/session (Mb/s)", "Jain", "max queue",
+                    "steady queue", "early goodput (Mb/s)"}};
+
+  for (const auto alg : {exp::Algorithm::kPhantom, exp::Algorithm::kEprca,
+                         exp::Algorithm::kAprc, exp::Algorithm::kCapc}) {
+    sim::Simulator sim;
+    topo::AbrNetwork net{sim, exp::make_factory(alg)};
+    const auto sw = net.add_switch("sw");
+    const auto dest = net.add_destination(sw, {});
+    for (int i = 0; i < 5; ++i) net.add_session(sw, {}, dest);
+    exp::GoodputProbe probe{sim, net};
+    net.start_all(Time::zero(), Time::zero());
+
+    // Early window: how much gets through while converging.
+    probe.mark();
+    sim.run_until(Time::ms(30));
+    const double early = probe.total_mbps();
+
+    // Steady state.
+    sim.run_until(Time::ms(400));
+    probe.mark();
+    sim.run_until(Time::ms(600));
+    const auto rates = probe.rates_mbps();
+    double mean = 0;
+    for (const double r : rates) mean += r;
+    mean /= static_cast<double>(rates.size());
+
+    table.add_row({exp::to_string(alg), exp::Table::num(mean),
+                   exp::Table::num(stats::jain_index(rates), 3),
+                   std::to_string(net.dest_port(dest).max_queue_length()),
+                   std::to_string(net.dest_port(dest).queue_length()),
+                   exp::Table::num(early)});
+  }
+  table.print();
+  std::printf(
+      "\nReading guide: Phantom converges to u*C/(n+1) = 23.75 Mb/s with a\n"
+      "drained steady queue; EPRCA/APRC oscillate around C/n with standing\n"
+      "queues; CAPC converges more slowly (low early goodput) but with a\n"
+      "small queue — the trade-off the paper's Fig. 22 describes.\n");
+  return 0;
+}

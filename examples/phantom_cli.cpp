@@ -1,0 +1,243 @@
+// phantom_cli — scripted scenario runner for the Phantom library.
+//
+// Usage:
+//   phantom_cli [--scenario=bottleneck|parking|onoff|tcp]
+//               [--algorithm=phantom|eprca|aprc|capc|erica]
+//               [--sessions=N] [--rate-mbps=R] [--duration-ms=D]
+//               [--seed=S] [--csv=PREFIX]
+//
+// Runs the scenario, prints the per-session goodput table, fairness
+// index and queue statistics, and (with --csv) writes the fair-share
+// and queue time series for external plotting. Exit code 0 on success,
+// 2 on bad arguments.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "exp/factories.h"
+#include "exp/probes.h"
+#include "exp/report.h"
+#include "sim/simulator.h"
+#include "stats/fairness.h"
+#include "tcp/phantom_policies.h"
+#include "tcp/tcp_network.h"
+#include "topo/abr_network.h"
+#include "topo/workload.h"
+
+namespace {
+
+using namespace phantom;
+using sim::Rate;
+using sim::Time;
+
+struct Args {
+  std::string scenario = "bottleneck";
+  std::string algorithm = "phantom";
+  int sessions = 3;
+  double rate_mbps = 150.0;
+  double duration_ms = 600.0;
+  std::uint64_t seed = 1;
+  std::string csv;  // prefix; empty = no dump
+};
+
+std::optional<Args> parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      std::fprintf(stderr, "bad argument: %s (want --key=value)\n",
+                   arg.c_str());
+      return std::nullopt;
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string val = arg.substr(eq + 1);
+    try {
+      if (key == "scenario") a.scenario = val;
+      else if (key == "algorithm") a.algorithm = val;
+      else if (key == "sessions") a.sessions = std::stoi(val);
+      else if (key == "rate-mbps") a.rate_mbps = std::stod(val);
+      else if (key == "duration-ms") a.duration_ms = std::stod(val);
+      else if (key == "seed") a.seed = std::stoull(val);
+      else if (key == "csv") a.csv = val;
+      else {
+        std::fprintf(stderr, "unknown option: --%s\n", key.c_str());
+        return std::nullopt;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad value for --%s: %s\n", key.c_str(),
+                   val.c_str());
+      return std::nullopt;
+    }
+  }
+  if (a.sessions < 1 || a.rate_mbps <= 0 || a.duration_ms < 50) {
+    std::fprintf(stderr, "need sessions >= 1, rate > 0, duration >= 50 ms\n");
+    return std::nullopt;
+  }
+  return a;
+}
+
+std::optional<exp::Algorithm> algorithm_of(const std::string& name) {
+  if (name == "phantom") return exp::Algorithm::kPhantom;
+  if (name == "eprca") return exp::Algorithm::kEprca;
+  if (name == "aprc") return exp::Algorithm::kAprc;
+  if (name == "capc") return exp::Algorithm::kCapc;
+  if (name == "erica") return exp::Algorithm::kErica;
+  return std::nullopt;
+}
+
+void report_abr(sim::Simulator& sim, topo::AbrNetwork& net,
+                atm::OutputPort& bottleneck, const Args& args,
+                const sim::Trace& queue_trace) {
+  exp::GoodputProbe probe{sim, net};
+  const Time horizon = Time::from_seconds(args.duration_ms / 1e3);
+  sim.run_until(horizon * 0.6);
+  probe.mark();
+  sim.run_until(horizon);
+
+  const auto rates = probe.rates_mbps();
+  exp::Table table{{"session", "goodput (Mb/s)"}};
+  for (std::size_t s = 0; s < rates.size(); ++s) {
+    table.add_row({std::to_string(s), exp::Table::num(rates[s])});
+  }
+  table.print();
+  std::printf(
+      "\nJain %.4f | total %.2f Mb/s | fair-share estimate %.2f Mb/s\n"
+      "queue: now %zu, max %zu cells, drops %llu\n",
+      stats::jain_index(rates), probe.total_mbps(),
+      bottleneck.controller().fair_share().mbits_per_sec(),
+      bottleneck.queue_length(), bottleneck.max_queue_length(),
+      static_cast<unsigned long long>(bottleneck.cells_dropped()));
+  if (!args.csv.empty()) {
+    exp::write_series_csv(args.csv + "_queue.csv", queue_trace.samples());
+    std::printf("wrote %s_queue.csv\n", args.csv.c_str());
+  }
+}
+
+int run_abr_scenario(const Args& args, exp::Algorithm alg) {
+  sim::Simulator sim{args.seed};
+  topo::AbrNetwork net{sim, exp::make_factory(alg)};
+
+  if (args.scenario == "bottleneck" || args.scenario == "onoff") {
+    const auto sw = net.add_switch("sw");
+    topo::TrunkOptions opts;
+    opts.rate = Rate::mbps(args.rate_mbps);
+    const auto dest = net.add_destination(sw, opts);
+    for (int i = 0; i < args.sessions; ++i) net.add_session(sw, {}, dest);
+    net.start_all(Time::zero(), Time::zero());
+    std::optional<topo::OnOffDriver> driver;
+    if (args.scenario == "onoff") {
+      topo::OnOffDriver::Options opt;  // last session toggles
+      opt.first_toggle = Time::ms(60);
+      driver.emplace(sim, net.source(static_cast<std::size_t>(args.sessions) - 1), opt);
+    }
+    exp::QueueSampler queue{sim, net.dest_port(dest)};
+    exp::print_header("cli:" + args.scenario,
+                      exp::to_string(alg) + ", " +
+                          std::to_string(args.sessions) + " sessions @ " +
+                          exp::Table::num(args.rate_mbps, 0) + " Mb/s");
+    report_abr(sim, net, net.dest_port(dest), args, queue.trace());
+    return 0;
+  }
+
+  if (args.scenario == "parking") {
+    const int hops = std::max(2, args.sessions - 1);
+    std::vector<topo::AbrNetwork::SwitchId> sw;
+    for (int i = 0; i <= hops; ++i) sw.push_back(net.add_switch("s"));
+    std::vector<topo::AbrNetwork::TrunkId> trunks;
+    topo::TrunkOptions opts;
+    opts.rate = Rate::mbps(args.rate_mbps);
+    for (int i = 0; i < hops; ++i) {
+      trunks.push_back(net.add_trunk(sw[static_cast<std::size_t>(i)],
+                                     sw[static_cast<std::size_t>(i + 1)],
+                                     opts));
+    }
+    const auto d_end = net.add_destination(sw.back(), opts);
+    topo::TrunkOptions stub;
+    stub.controlled = false;
+    stub.rate = Rate::mbps(4 * args.rate_mbps);
+    net.add_session(sw[0], trunks, d_end);  // the long session
+    for (int i = 0; i < hops; ++i) {        // one local per hop
+      const auto exit_sw = sw[static_cast<std::size_t>(i + 1)];
+      const auto d =
+          i + 1 == hops ? d_end : net.add_destination(exit_sw, stub);
+      net.add_session(sw[static_cast<std::size_t>(i)],
+                      {trunks[static_cast<std::size_t>(i)]}, d);
+    }
+    net.start_all(Time::zero(), Time::zero());
+    exp::QueueSampler queue{sim, net.trunk_port(trunks[0])};
+    exp::print_header("cli:parking", exp::to_string(alg) + ", " +
+                                         std::to_string(hops) + " hops");
+    report_abr(sim, net, net.trunk_port(trunks[0]), args, queue.trace());
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown scenario: %s\n", args.scenario.c_str());
+  return 2;
+}
+
+int run_tcp_scenario(const Args& args) {
+  sim::Simulator sim{args.seed};
+  tcp::TcpNetwork net{sim};
+  const auto r = net.add_router("r0");
+  tcp::TcpTrunkOptions opts;
+  opts.rate = Rate::mbps(args.rate_mbps);
+  opts.queue_limit = 60;
+  if (args.algorithm == "phantom") {
+    // Factor 10: the upper end of the bench's uf sweep, the most robust
+    // setting for small flow counts (see EXPERIMENTS.md, Ablation D).
+    opts.policy = [](sim::Simulator& s, Rate rate) {
+      return std::make_unique<tcp::SelectiveDiscardPolicy>(s, rate, 10.0);
+    };
+  }
+  const auto sink = net.add_sink_node(r, opts);
+  for (int i = 0; i < args.sessions; ++i) {
+    // Geometric RTT spread (6, 12, 24, ... ms), the paper-style
+    // heterogeneous mix.
+    net.add_flow(r, {}, sink, tcp::RenoConfig{}, Rate::mbps(100),
+                 Time::ms(3 * (std::int64_t{1} << std::min(i, 4))));
+  }
+  net.start_all(Time::zero(), Time::ms(73));
+
+  const Time horizon = Time::from_seconds(args.duration_ms / 1e3);
+  sim.run_until(horizon * 0.3);
+  std::vector<std::int64_t> base;
+  for (std::size_t f = 0; f < net.num_flows(); ++f) {
+    base.push_back(net.delivered_bytes(f));
+  }
+  sim.run_until(horizon);
+
+  exp::print_header(
+      "cli:tcp", std::string{"Reno over "} +
+                     (opts.policy ? "selective discard" : "drop-tail") +
+                     ", " + std::to_string(args.sessions) + " flows");
+  exp::Table table{{"flow", "goodput (Mb/s)"}};
+  std::vector<double> rates;
+  for (std::size_t f = 0; f < net.num_flows(); ++f) {
+    rates.push_back(static_cast<double>(net.delivered_bytes(f) - base[f]) * 8 /
+                    (horizon * 0.7).seconds() / 1e6);
+    table.add_row({std::to_string(f), exp::Table::num(rates.back())});
+  }
+  table.print();
+  std::printf("\nJain %.4f | max queue %zu packets | drops %llu\n",
+              stats::jain_index(rates), net.sink_port(sink).max_queue_length(),
+              static_cast<unsigned long long>(
+                  net.sink_port(sink).packets_dropped()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args) return 2;
+  if (args->scenario == "tcp") return run_tcp_scenario(*args);
+  const auto alg = algorithm_of(args->algorithm);
+  if (!alg) {
+    std::fprintf(stderr, "unknown algorithm: %s\n", args->algorithm.c_str());
+    return 2;
+  }
+  return run_abr_scenario(*args, *alg);
+}

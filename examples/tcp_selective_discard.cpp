@@ -1,0 +1,85 @@
+// TCP example: Phantom's Selective Discard in an IP router.
+//
+// Four greedy TCP Reno connections with very different RTTs share one
+// 10 Mb/s drop-tail router. Plain drop-tail is strongly biased by RTT;
+// adding Phantom's Selective Discard (router compares each packet's
+// stamped rate CR against utilization_factor * MACR and polices the
+// over-rate flows when the queue builds) equalizes the goodputs without
+// modifying TCP's window machinery.
+#include <cstdio>
+#include <vector>
+
+#include "exp/report.h"
+#include "sim/simulator.h"
+#include "stats/fairness.h"
+#include "tcp/phantom_policies.h"
+#include "tcp/tcp_network.h"
+
+using namespace phantom;
+using sim::Rate;
+using sim::Time;
+
+namespace {
+
+struct Result {
+  std::vector<double> mbps;
+  double jain = 0.0;
+  double total = 0.0;
+};
+
+Result run(tcp::PolicyFactory policy) {
+  sim::Simulator sim;
+  tcp::TcpNetwork net{sim};
+  const auto r = net.add_router("r0");
+  tcp::TcpTrunkOptions opts;
+  opts.queue_limit = 60;
+  opts.policy = std::move(policy);
+  const auto s = net.add_sink_node(r, opts);
+  const Time delays[] = {Time::ms(3), Time::ms(6), Time::ms(12), Time::ms(24)};
+  for (const Time d : delays) {
+    net.add_flow(r, {}, s, tcp::RenoConfig{}, Rate::mbps(100), d);
+  }
+  net.start_all(Time::zero(), Time::ms(73));
+  sim.run_until(Time::sec(3));
+  std::vector<std::int64_t> base;
+  for (std::size_t f = 0; f < net.num_flows(); ++f) {
+    base.push_back(net.delivered_bytes(f));
+  }
+  sim.run_until(Time::sec(12));
+  Result out;
+  for (std::size_t f = 0; f < net.num_flows(); ++f) {
+    out.mbps.push_back(
+        static_cast<double>(net.delivered_bytes(f) - base[f]) * 8 / 9.0 / 1e6);
+    out.total += out.mbps.back();
+  }
+  out.jain = stats::jain_index(out.mbps);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const Result droptail = run(nullptr);
+  const Result discard = run([](sim::Simulator& sim, Rate rate) {
+    return std::make_unique<tcp::SelectiveDiscardPolicy>(sim, rate, 10.0);
+  });
+
+  exp::print_header("tcp-selective-discard",
+                    "4 Reno flows (RTT 6..48 ms), 10 Mb/s bottleneck");
+  exp::Table table{{"flow (2*access delay)", "drop-tail (Mb/s)",
+                    "selective discard (Mb/s)"}};
+  const char* kNames[] = {"6 ms", "12 ms", "24 ms", "48 ms"};
+  for (std::size_t f = 0; f < droptail.mbps.size(); ++f) {
+    table.add_row({kNames[f], exp::Table::num(droptail.mbps[f]),
+                   exp::Table::num(discard.mbps[f])});
+  }
+  table.add_row({"total", exp::Table::num(droptail.total),
+                 exp::Table::num(discard.total)});
+  table.add_row({"Jain index", exp::Table::num(droptail.jain, 3),
+                 exp::Table::num(discard.jain, 3)});
+  table.print();
+  std::printf(
+      "\nSelective Discard trades a little utilization for RTT-independent\n"
+      "fairness, with no change to the end hosts' TCP implementation.\n");
+  return 0;
+}

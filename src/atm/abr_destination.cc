@@ -1,0 +1,35 @@
+#include "atm/abr_destination.h"
+
+#include <algorithm>
+
+namespace phantom::atm {
+
+void AbrDestination::receive_cell(Cell cell) {
+  switch (cell.kind) {
+    case CellKind::kData: {
+      VcState& st = per_vc_[cell.vc];
+      st.efci_latched = cell.efci;
+      ++st.data_cells;
+      ++total_data_;
+      const double delay_ms = (sim_->now() - cell.sent_at).milliseconds();
+      st.delay_sum_ms += delay_ms;
+      st.delay_max_ms = std::max(st.delay_max_ms, delay_ms);
+      delays_.add(delay_ms);
+      break;
+    }
+    case CellKind::kForwardRm: {
+      VcState& st = per_vc_[cell.vc];
+      Cell brm = cell;
+      brm.kind = CellKind::kBackwardRm;
+      brm.ci = cell.ci || st.efci_latched;
+      ++rm_turned_;
+      link_.deliver(brm);
+      break;
+    }
+    case CellKind::kBackwardRm:
+      // A destination never receives backward RM cells; ignore.
+      break;
+  }
+}
+
+}  // namespace phantom::atm

@@ -1,0 +1,77 @@
+// ABR destination end system: RM-cell turnaround + EFCI latching.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "atm/cell.h"
+#include "atm/link.h"
+#include "sim/simulator.h"
+#include "stats/histogram.h"
+
+namespace phantom::atm {
+
+/// Destination end system. Forward RM cells are turned around as
+/// backward RM cells onto the reverse path. Per TM 4.0, the destination
+/// latches the EFCI state of the most recent data cell of each VC and
+/// copies it into the CI bit of the next turned-around RM cell — this is
+/// the path by which EFCI marking at switches reaches the source.
+///
+/// Per-VC state here is fine: a destination only tracks its *own*
+/// sessions; the constant-space requirement applies to switch ports.
+class AbrDestination final : public CellSink {
+ public:
+  AbrDestination(sim::Simulator& sim, Link to_network)
+      : sim_{&sim}, link_{to_network} {
+    (void)sim_;
+  }
+
+  AbrDestination(const AbrDestination&) = delete;
+  AbrDestination& operator=(const AbrDestination&) = delete;
+
+  void receive_cell(Cell cell) override;
+
+  [[nodiscard]] std::uint64_t data_cells_received(int vc) const {
+    const auto it = per_vc_.find(vc);
+    return it == per_vc_.end() ? 0 : it->second.data_cells;
+  }
+  [[nodiscard]] std::uint64_t total_data_cells() const { return total_data_; }
+  [[nodiscard]] std::uint64_t rm_cells_turned() const { return rm_turned_; }
+
+  /// End-to-end delay distribution (ms) of received data cells; the
+  /// paper's "moderate queue" claim, expressed in time. Bins cover
+  /// [0, 100 ms); later spikes land in the overflow bin.
+  [[nodiscard]] const stats::Histogram& delay_histogram() const {
+    return delays_;
+  }
+
+  /// Per-VC delay statistics (ms); zero for unknown VCs.
+  [[nodiscard]] double mean_delay_ms(int vc) const {
+    const auto it = per_vc_.find(vc);
+    return it == per_vc_.end() || it->second.data_cells == 0
+               ? 0.0
+               : it->second.delay_sum_ms /
+                     static_cast<double>(it->second.data_cells);
+  }
+  [[nodiscard]] double max_delay_ms(int vc) const {
+    const auto it = per_vc_.find(vc);
+    return it == per_vc_.end() ? 0.0 : it->second.delay_max_ms;
+  }
+
+ private:
+  struct VcState {
+    bool efci_latched = false;
+    std::uint64_t data_cells = 0;
+    double delay_sum_ms = 0.0;
+    double delay_max_ms = 0.0;
+  };
+
+  sim::Simulator* sim_;
+  Link link_;
+  std::unordered_map<int, VcState> per_vc_;
+  std::uint64_t total_data_ = 0;
+  std::uint64_t rm_turned_ = 0;
+  stats::Histogram delays_{100.0, 1000};  // ms, 0.1 ms bins
+};
+
+}  // namespace phantom::atm

@@ -1,0 +1,47 @@
+// ABR source/end-system parameters, defaulted to the values the paper
+// quotes from ATM Forum TM 4.0 Appendix I [Sat96]:
+//   Nrm = 32, AIR*Nrm = 4.25 Mb/s, RDF = 256, PCR = 150 Mb/s, TOF = 2,
+//   TCR = 10 cells/s (4.24 Kb/s), ICR = 8.5 Mb/s.
+// (The OCR of the paper prints "AIR Nrm = 42:5Mbs"; the paper elsewhere
+// requires AIR*Nrm << 30 Mb/s, so we read it as 4.25 Mb/s — see
+// DESIGN.md "Substitutions".)
+#pragma once
+
+#include <stdexcept>
+
+#include "sim/time.h"
+
+namespace phantom::atm {
+
+struct AbrParams {
+  sim::Rate pcr = sim::Rate::mbps(150);   ///< Peak Cell Rate (never exceeded)
+  sim::Rate mcr = sim::Rate::zero();      ///< Minimum Cell Rate (guaranteed)
+  sim::Rate icr = sim::Rate::mbps(8.5);   ///< Initial Cell Rate
+  sim::Rate tcr = sim::Rate::cells_per_sec(10);  ///< Tagged Cell Rate (idle floor)
+  /// Additive increase applied per backward RM cell without CI set
+  /// (= AIR * Nrm in TM 4.0 terms).
+  sim::Rate air_nrm = sim::Rate::mbps(4.25);
+  int nrm = 32;        ///< cells per forward RM cell (one FRM in every Nrm)
+  double rdf = 256.0;  ///< Rate Decrease Factor: ACR *= (1 - Nrm/RDF) per CI
+  double tof = 2.0;    ///< Time-Out Factor for use-it-or-lose-it
+  /// Trm: upper bound on the FRM spacing. A source whose ACR is beaten
+  /// down sends in-rate RM cells very rarely (one per Nrm cells), which
+  /// would stall its own recovery; TM 4.0 therefore emits an
+  /// out-of-rate FRM whenever none was sent for Trm [Sat96].
+  sim::Time trm = sim::Time::ms(100);
+
+  /// Throws std::invalid_argument if the parameter set is inconsistent.
+  void validate() const {
+    if (pcr.bits_per_sec() <= 0) throw std::invalid_argument{"PCR must be positive"};
+    if (mcr.bits_per_sec() < 0) throw std::invalid_argument{"MCR must be >= 0"};
+    if (icr > pcr) throw std::invalid_argument{"ICR must not exceed PCR"};
+    if (tcr.bits_per_sec() <= 0) throw std::invalid_argument{"TCR must be positive"};
+    if (nrm < 2) throw std::invalid_argument{"Nrm must be at least 2"};
+    if (rdf <= nrm) throw std::invalid_argument{"RDF must exceed Nrm"};
+    if (tof <= 0) throw std::invalid_argument{"TOF must be positive"};
+    if (trm <= sim::Time::zero())
+      throw std::invalid_argument{"Trm must be positive"};
+  }
+};
+
+}  // namespace phantom::atm

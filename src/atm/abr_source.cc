@@ -1,0 +1,135 @@
+#include "atm/abr_source.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace phantom::atm {
+
+AbrSource::AbrSource(sim::Simulator& sim, int vc, AbrParams params,
+                     Link to_network)
+    : sim_{&sim},
+      vc_{vc},
+      params_{params},
+      link_{to_network},
+      acr_{params.icr},
+      acr_trace_{"acr.vc" + std::to_string(vc)} {
+  params_.validate();
+}
+
+void AbrSource::start(sim::Time at) {
+  assert(!started_ && "start() may only be called once");
+  started_ = true;
+  sim_->schedule_at(at, [this] {
+    active_ = true;
+    set_acr(acr_);  // record the initial rate
+    if (!sending_) {
+      sending_ = true;
+      send_next_cell();
+    }
+    on_trm_check();
+  });
+}
+
+void AbrSource::emit_forward_rm() {
+  Cell cell = Cell::forward_rm(vc_, effective_rate(), params_.pcr);
+  cell.sent_at = sim_->now();
+  ++rm_sent_;
+  last_rm_sent_ = sim_->now();
+  link_.deliver(cell);
+}
+
+void AbrSource::on_trm_check() {
+  // Out-of-rate FRM: keeps the feedback loop alive when the in-rate RM
+  // spacing (Nrm cells at the current ACR) exceeds Trm — without it a
+  // beaten-down source could wait seconds for permission to recover.
+  if (active_ && sim_->now() - last_rm_sent_ >= params_.trm) {
+    emit_forward_rm();
+  }
+  sim_->schedule(params_.trm / 2, [this] { on_trm_check(); });
+}
+
+void AbrSource::set_active(bool active) {
+  if (active == active_) return;
+  active_ = active;
+  if (!active_) {
+    // The pacing chain notices `active_ == false` and stops; bump the
+    // epoch so a stale event can never resume a deactivated source.
+    ++epoch_;
+    sending_ = false;
+    return;
+  }
+  // Use-it-or-lose-it: restarting after a long idle period resets to ICR
+  // so a stale (large) ACR cannot dump a burst into the network.
+  const sim::Time idle = sim_->now() - last_send_;
+  const sim::Time timeout =
+      acr_.transmission_time(kCellBits * params_.nrm) * params_.tof;
+  if (idle > timeout && acr_ > params_.icr) {
+    set_acr(params_.icr);
+  }
+  if (started_ && !sending_) {
+    sending_ = true;
+    send_next_cell();
+  }
+}
+
+void AbrSource::send_next_cell() {
+  if (!active_) {
+    sending_ = false;
+    return;
+  }
+  // First cell of every Nrm-cell block is the in-rate forward RM cell,
+  // so the control loop starts with the very first transmission. CCR
+  // carries the rate cells actually leave at.
+  const sim::Rate effective = effective_rate();
+  Cell cell;
+  if (cells_since_rm_ == 0) {
+    cell = Cell::forward_rm(vc_, effective, params_.pcr);
+    ++rm_sent_;
+    last_rm_sent_ = sim_->now();
+  } else {
+    cell = Cell::data(vc_);
+    ++data_sent_;
+  }
+  cells_since_rm_ = (cells_since_rm_ + 1) % static_cast<std::uint64_t>(params_.nrm);
+  cell.sent_at = sim_->now();
+  last_send_ = sim_->now();
+  link_.deliver(cell);
+
+  const std::uint64_t epoch = epoch_;
+  sim_->schedule(effective.transmission_time(kCellBits), [this, epoch] {
+    if (epoch != epoch_) return;  // source was deactivated meanwhile
+    send_next_cell();
+  });
+}
+
+void AbrSource::set_demand(sim::Rate demand) {
+  assert(demand.bits_per_sec() > 0.0 && "demand must be positive");
+  demand_ = demand;
+}
+
+void AbrSource::receive_cell(Cell cell) {
+  if (cell.kind != CellKind::kBackwardRm || cell.vc != vc_) return;
+  ++brm_received_;
+  apply_backward_rm(cell);
+}
+
+void AbrSource::apply_backward_rm(const Cell& cell) {
+  sim::Rate next = acr_;
+  if (cell.ci) {
+    next = next * (1.0 - static_cast<double>(params_.nrm) / params_.rdf);
+  } else {
+    next = next + params_.air_nrm;
+  }
+  next = std::min(next, cell.er);
+  next = std::min(next, params_.pcr);
+  next = std::max(next, params_.mcr);
+  next = std::max(next, params_.tcr);  // keep probing even when beaten down
+  set_acr(next);
+}
+
+void AbrSource::set_acr(sim::Rate r) {
+  acr_ = r;
+  acr_trace_.record(sim_->now(), r.bits_per_sec());
+}
+
+}  // namespace phantom::atm

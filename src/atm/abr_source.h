@@ -1,0 +1,93 @@
+// ABR source end system: paced cell transmission + rate adaptation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "atm/abr_params.h"
+#include "atm/cell.h"
+#include "atm/link.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace phantom::atm {
+
+/// Source end system per the TM 4.0 subset the paper's simulations use:
+///
+///  * transmits cells paced at ACR while active; every Nrm-th cell is an
+///    in-rate forward RM cell carrying CCR = ACR and ER = PCR;
+///  * on a backward RM cell: multiplicative decrease by Nrm/RDF if CI is
+///    set, otherwise additive increase by AIR*Nrm; then ACR is clamped
+///    into [max(MCR, TCR), min(ER, PCR)] — the ER clamp is how explicit-
+///    rate switches (Phantom and the baselines) actually steer sources;
+///  * use-it-or-lose-it: a source that restarts after being idle longer
+///    than TOF * Nrm / ACR falls back to ICR [Sat96, "TOF"].
+///
+/// On/off workloads drive `set_active`; greedy sources just start once.
+class AbrSource final : public CellSink {
+ public:
+  AbrSource(sim::Simulator& sim, int vc, AbrParams params, Link to_network);
+
+  AbrSource(const AbrSource&) = delete;
+  AbrSource& operator=(const AbrSource&) = delete;
+
+  /// Begins transmitting at `at` (absolute time).
+  void start(sim::Time at);
+
+  /// On/off control; re-activation applies use-it-or-lose-it.
+  void set_active(bool active);
+
+  /// Caps the source's sending rate below ACR: a non-greedy application
+  /// that only ever has `demand` worth of traffic. The control loop
+  /// still runs (RM cells flow at the effective rate); the unclaimed
+  /// share is redistributed by the switches. Rate::max-like default =
+  /// greedy.
+  void set_demand(sim::Rate demand);
+
+  /// Receives backward RM cells addressed to this source's VC.
+  void receive_cell(Cell cell) override;
+
+  [[nodiscard]] int vc() const { return vc_; }
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] sim::Rate acr() const { return acr_; }
+  /// The rate cells actually leave at: min(ACR, demand).
+  [[nodiscard]] sim::Rate effective_rate() const {
+    return std::min(acr_, demand_);
+  }
+  [[nodiscard]] std::uint64_t data_cells_sent() const { return data_sent_; }
+  [[nodiscard]] std::uint64_t rm_cells_sent() const { return rm_sent_; }
+  [[nodiscard]] std::uint64_t brm_cells_received() const { return brm_received_; }
+
+  /// ACR over time; recorded at every rate change (the paper's
+  /// "sessions' allowed rate" curves).
+  [[nodiscard]] const sim::Trace& acr_trace() const { return acr_trace_; }
+
+ private:
+  void send_next_cell();
+  void emit_forward_rm();
+  void on_trm_check();
+  void apply_backward_rm(const Cell& cell);
+  void set_acr(sim::Rate r);
+
+  sim::Simulator* sim_;
+  int vc_;
+  AbrParams params_;
+  Link link_;
+
+  sim::Rate acr_;
+  sim::Rate demand_ = sim::Rate::bps(1e18);  // effectively unbounded
+  bool active_ = false;
+  bool started_ = false;
+  bool sending_ = false;           // a pacing event is outstanding
+  std::uint64_t cells_since_rm_ = 0;
+  std::uint64_t data_sent_ = 0;
+  std::uint64_t rm_sent_ = 0;
+  std::uint64_t brm_received_ = 0;
+  sim::Time last_send_ = sim::Time::zero();
+  sim::Time last_rm_sent_ = sim::Time::zero();
+  std::uint64_t epoch_ = 0;        // invalidates stale pacing events
+  sim::Trace acr_trace_;
+};
+
+}  // namespace phantom::atm

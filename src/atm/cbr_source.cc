@@ -1,0 +1,35 @@
+#include "atm/cbr_source.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace phantom::atm {
+
+CbrSource::CbrSource(sim::Simulator& sim, int vc, sim::Rate rate,
+                     Link to_network)
+    : sim_{&sim}, vc_{vc}, rate_{rate}, link_{to_network} {
+  if (rate.bits_per_sec() <= 0.0) {
+    throw std::invalid_argument{"CBR rate must be positive"};
+  }
+}
+
+void CbrSource::start(sim::Time at) {
+  assert(!started_ && "start() may only be called once");
+  started_ = true;
+  sim_->schedule_at(at, [this] {
+    running_ = true;
+    send_next();
+  });
+}
+
+void CbrSource::send_next() {
+  if (!running_) return;
+  Cell cell = Cell::data(vc_);
+  cell.high_priority = true;  // guaranteed service class
+  cell.sent_at = sim_->now();
+  link_.deliver(cell);
+  ++sent_;
+  sim_->schedule(rate_.transmission_time(kCellBits), [this] { send_next(); });
+}
+
+}  // namespace phantom::atm

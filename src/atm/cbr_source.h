@@ -1,0 +1,47 @@
+// Constant-bit-rate background source.
+//
+// ABR is the *available* bit rate service: whatever guaranteed-class
+// (CBR/VBR) traffic leaves behind. A CbrSource models that guaranteed
+// traffic — a fixed-rate stream of data cells that ignores all
+// flow-control feedback. Phantom's residual-bandwidth measurement sees
+// it as load and hands the ABR sessions only what remains.
+#pragma once
+
+#include <cstdint>
+
+#include "atm/cell.h"
+#include "atm/link.h"
+#include "sim/simulator.h"
+
+namespace phantom::atm {
+
+class CbrSource {
+ public:
+  CbrSource(sim::Simulator& sim, int vc, sim::Rate rate, Link to_network);
+
+  CbrSource(const CbrSource&) = delete;
+  CbrSource& operator=(const CbrSource&) = delete;
+
+  /// Begins transmitting at absolute time `at`.
+  void start(sim::Time at);
+
+  /// Stops transmission (the stream may not be restarted).
+  void stop() { running_ = false; }
+
+  [[nodiscard]] int vc() const { return vc_; }
+  [[nodiscard]] sim::Rate rate() const { return rate_; }
+  [[nodiscard]] std::uint64_t cells_sent() const { return sent_; }
+
+ private:
+  void send_next();
+
+  sim::Simulator* sim_;
+  int vc_;
+  sim::Rate rate_;
+  Link link_;
+  bool running_ = false;
+  bool started_ = false;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace phantom::atm

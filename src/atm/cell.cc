@@ -1,0 +1,14 @@
+#include "atm/cell.h"
+
+namespace phantom::atm {
+
+std::string to_string(CellKind kind) {
+  switch (kind) {
+    case CellKind::kData: return "data";
+    case CellKind::kForwardRm: return "FRM";
+    case CellKind::kBackwardRm: return "BRM";
+  }
+  return "?";
+}
+
+}  // namespace phantom::atm

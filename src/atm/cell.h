@@ -1,0 +1,69 @@
+// ATM cells and the Resource-Management (RM) cell fields used by the
+// ABR rate-based flow-control loop [Sat96].
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace phantom::atm {
+
+/// Cells on the wire are 53 bytes (424 bits) regardless of kind.
+inline constexpr std::int64_t kCellBits = 424;
+inline constexpr std::int64_t kCellBytes = 53;
+
+enum class CellKind : std::uint8_t {
+  kData,        ///< payload-carrying cell
+  kForwardRm,   ///< RM cell travelling source -> destination
+  kBackwardRm,  ///< RM cell turned around by the destination
+};
+
+[[nodiscard]] std::string to_string(CellKind kind);
+
+/// A single ATM cell. The RM fields (`ccr`, `er`, `ci`) are meaningful
+/// only on RM cells; `efci` rides on data cells and is copied into the
+/// destination's per-VC congestion state [Sat96, RJ90].
+struct Cell {
+  CellKind kind = CellKind::kData;
+  int vc = -1;  ///< virtual circuit (session) identifier
+
+  sim::Rate ccr;     ///< Current Cell Rate stamped by the source on FRM cells
+  sim::Rate er;      ///< Explicit Rate: set to PCR by the source, only ever
+                     ///< *reduced* by switches on the way back
+  bool ci = false;   ///< Congestion Indication (binary feedback)
+  bool efci = false; ///< Explicit Forward Congestion Indication (data cells)
+  /// Guaranteed-class (CBR/VBR) cell: strict-priority ports serve it
+  /// ahead of ABR traffic.
+  bool high_priority = false;
+  /// Source transmission time; destinations derive end-to-end delay.
+  sim::Time sent_at;
+
+  [[nodiscard]] bool is_rm() const { return kind != CellKind::kData; }
+
+  /// FRM factory: how sources emit in-rate RM cells.
+  [[nodiscard]] static Cell forward_rm(int vc, sim::Rate ccr, sim::Rate er) {
+    Cell c;
+    c.kind = CellKind::kForwardRm;
+    c.vc = vc;
+    c.ccr = ccr;
+    c.er = er;
+    return c;
+  }
+
+  /// Data-cell factory.
+  [[nodiscard]] static Cell data(int vc) {
+    Cell c;
+    c.vc = vc;
+    return c;
+  }
+};
+
+/// Anything that can accept a cell: switches, end systems, test probes.
+class CellSink {
+ public:
+  virtual ~CellSink() = default;
+  virtual void receive_cell(Cell cell) = 0;
+};
+
+}  // namespace phantom::atm

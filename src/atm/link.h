@@ -1,0 +1,49 @@
+// Propagation-delay pipe between network elements.
+#pragma once
+
+#include <cassert>
+
+#include "atm/cell.h"
+#include "sim/simulator.h"
+
+namespace phantom::atm {
+
+/// Unidirectional link: delivers cells to `sink` after a fixed
+/// propagation delay. Serialization (transmission) time is modelled by
+/// the OutputPort feeding the link, so Link itself is pure latency; this
+/// matches the classic DES decomposition and lets sources with their own
+/// pacing connect directly.
+///
+/// `loss_probability` injects independent random cell loss (failure
+/// testing: lost RM cells stall feedback, lost data cells starve the
+/// destination). Links are value types; each holder's copy keeps its own
+/// loss counter.
+class Link {
+ public:
+  Link(sim::Simulator& sim, sim::Time delay, CellSink& sink,
+       double loss_probability = 0.0)
+      : sim_{&sim}, delay_{delay}, sink_{&sink}, loss_{loss_probability} {
+    assert(!delay.is_negative());
+    assert(loss_probability >= 0.0 && loss_probability <= 1.0);
+  }
+
+  void deliver(Cell cell) {
+    if (loss_ > 0.0 && sim_->rng().bernoulli(loss_)) {
+      ++lost_;
+      return;
+    }
+    sim_->schedule(delay_, [sink = sink_, cell] { sink->receive_cell(cell); });
+  }
+
+  [[nodiscard]] sim::Time delay() const { return delay_; }
+  [[nodiscard]] std::uint64_t cells_lost() const { return lost_; }
+
+ private:
+  sim::Simulator* sim_;
+  sim::Time delay_;
+  CellSink* sink_;
+  double loss_ = 0.0;
+  std::uint64_t lost_ = 0;
+};
+
+}  // namespace phantom::atm

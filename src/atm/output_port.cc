@@ -1,0 +1,69 @@
+#include "atm/output_port.h"
+
+#include <cassert>
+#include <utility>
+
+namespace phantom::atm {
+
+OutputPort::OutputPort(sim::Simulator& sim, sim::Rate rate,
+                       std::size_t queue_limit, Link link,
+                       std::unique_ptr<PortController> controller,
+                       QueueDiscipline discipline)
+    : sim_{&sim},
+      rate_{rate},
+      queue_limit_{queue_limit},
+      link_{link},
+      controller_{std::move(controller)},
+      discipline_{discipline} {
+  assert(rate.bits_per_sec() > 0.0);
+  assert(queue_limit_ > 0);
+  if (!controller_) controller_ = std::make_unique<NullController>();
+}
+
+void OutputPort::send(Cell cell) {
+  if (queue_length() >= queue_limit_) {
+    ++dropped_;
+    controller_->on_cell_dropped(cell);
+    return;
+  }
+  if (cell.kind == CellKind::kData && controller_->mark_efci(queue_length())) {
+    cell.efci = true;
+  }
+  if (discipline_ == QueueDiscipline::kStrictPriority && cell.high_priority) {
+    priority_queue_.push_back(cell);
+  } else {
+    queue_.push_back(cell);
+  }
+  max_queue_ = std::max(max_queue_, queue_length());
+  ++accepted_;
+  controller_->on_cell_accepted(cell, queue_length());
+  if (!transmitting_) start_transmission();
+}
+
+void OutputPort::start_transmission() {
+  assert(queue_length() > 0);
+  transmitting_ = true;
+  // Pin the cell entering service now: a higher-priority arrival during
+  // its serialization must not preempt it.
+  serving_ = priority_queue_.empty() ? &queue_ : &priority_queue_;
+  sim_->schedule(rate_.transmission_time(kCellBits),
+                 [this] { on_transmission_complete(); });
+}
+
+void OutputPort::on_transmission_complete() {
+  assert(serving_ != nullptr && !serving_->empty());
+  std::deque<Cell>& q = *serving_;
+  serving_ = nullptr;
+  const Cell cell = q.front();
+  q.pop_front();
+  ++transmitted_;
+  controller_->on_cell_transmitted(cell);
+  link_.deliver(cell);
+  if (queue_length() > 0) {
+    start_transmission();
+  } else {
+    transmitting_ = false;
+  }
+}
+
+}  // namespace phantom::atm

@@ -1,0 +1,79 @@
+// Output-queued switch port: FIFO buffer + transmitter + controller.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "atm/cell.h"
+#include "atm/link.h"
+#include "atm/port_controller.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace phantom::atm {
+
+/// How an output port schedules its buffered cells.
+enum class QueueDiscipline {
+  kFifo,            ///< single FIFO (default)
+  kStrictPriority,  ///< high_priority cells (CBR/VBR) always go first
+};
+
+/// One output port of a switch: a bounded cell queue drained at the
+/// link rate, with an attached flow-control algorithm.
+///
+/// The port notifies its controller of accepted / dropped / transmitted
+/// cells (the raw material for rate measurement) and lets the controller
+/// mark EFCI on queued data cells. Backward-RM processing is *not* done
+/// here — the owning Switch routes BRM cells to the controller of the
+/// VC's forward port (see Switch::receive_cell).
+class OutputPort {
+ public:
+  /// `rate` is the link's cell rate; `queue_limit` is in cells; `link`
+  /// carries transmitted cells to the next hop.
+  OutputPort(sim::Simulator& sim, sim::Rate rate, std::size_t queue_limit,
+             Link link, std::unique_ptr<PortController> controller,
+             QueueDiscipline discipline = QueueDiscipline::kFifo);
+
+  OutputPort(const OutputPort&) = delete;
+  OutputPort& operator=(const OutputPort&) = delete;
+
+  /// Enqueues (or drops) a cell for transmission.
+  void send(Cell cell);
+
+  [[nodiscard]] std::size_t queue_length() const {
+    return queue_.size() + priority_queue_.size();
+  }
+  [[nodiscard]] std::size_t max_queue_length() const { return max_queue_; }
+  [[nodiscard]] std::uint64_t cells_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t cells_transmitted() const { return transmitted_; }
+  [[nodiscard]] std::uint64_t cells_accepted() const { return accepted_; }
+  [[nodiscard]] sim::Rate rate() const { return rate_; }
+
+  /// Never null; NullController when the port runs no flow control.
+  [[nodiscard]] PortController& controller() { return *controller_; }
+  [[nodiscard]] const PortController& controller() const { return *controller_; }
+
+ private:
+  void start_transmission();
+  void on_transmission_complete();
+
+  sim::Simulator* sim_;
+  sim::Rate rate_;
+  std::size_t queue_limit_;
+  Link link_;
+  std::unique_ptr<PortController> controller_;
+
+  QueueDiscipline discipline_;
+  std::deque<Cell> queue_;           // best-effort (ABR) cells
+  std::deque<Cell> priority_queue_;  // guaranteed-class cells
+  std::deque<Cell>* serving_ = nullptr;  // queue of the cell on the wire
+  bool transmitting_ = false;
+  std::size_t max_queue_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t transmitted_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace phantom::atm

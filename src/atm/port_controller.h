@@ -1,0 +1,72 @@
+// The seam between the switching substrate and a flow-control algorithm.
+//
+// Every algorithm the paper studies — Phantom itself and the EPRCA /
+// APRC / CAPC baselines of §5 — is a *per-output-port, constant-space*
+// controller. The switch notifies the controller about cell-level events
+// on its port and consults it when a backward RM cell for a VC routed
+// through that port passes by (that is where ER/CI feedback is written).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "atm/cell.h"
+#include "sim/time.h"
+
+namespace phantom::atm {
+
+/// Flow-control algorithm attached to one switch output port.
+///
+/// Implementations must use O(1) state (no per-VC tables) to honour the
+/// paper's "constant space" class; tests assert sizeof() stays small.
+class PortController {
+ public:
+  virtual ~PortController() = default;
+
+  /// A cell was accepted into the port's queue (queue length includes it).
+  virtual void on_cell_accepted(const Cell& cell, std::size_t queue_len) {
+    (void)cell;
+    (void)queue_len;
+  }
+
+  /// A cell arrived but the queue was full.
+  virtual void on_cell_dropped(const Cell& cell) { (void)cell; }
+
+  /// A cell finished transmission onto the link.
+  virtual void on_cell_transmitted(const Cell& cell) { (void)cell; }
+
+  /// A forward RM cell is transiting this port (EPRCA-family algorithms
+  /// learn CCRs here). Called before the cell is queued.
+  virtual void on_forward_rm(Cell& cell, std::size_t queue_len) {
+    (void)cell;
+    (void)queue_len;
+  }
+
+  /// A backward RM cell for a VC whose *forward* path uses this port.
+  /// This is where the algorithm writes its feedback (reduce `er`, set
+  /// `ci`). `queue_len` is the forward port's current queue length.
+  virtual void on_backward_rm(Cell& cell, std::size_t queue_len) = 0;
+
+  /// Whether a data cell entering the queue should have EFCI set.
+  [[nodiscard]] virtual bool mark_efci(std::size_t queue_len) const {
+    (void)queue_len;
+    return false;
+  }
+
+  /// The algorithm's current fair-share estimate (MACR / ERS), traced by
+  /// the experiment harness — the quantity the paper's figures plot.
+  [[nodiscard]] virtual sim::Rate fair_share() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// No-op controller for ports that do not run flow control (access
+/// links, reverse-direction RM paths).
+class NullController final : public PortController {
+ public:
+  void on_backward_rm(Cell&, std::size_t) override {}
+  [[nodiscard]] sim::Rate fair_share() const override { return sim::Rate::zero(); }
+  [[nodiscard]] std::string name() const override { return "null"; }
+};
+
+}  // namespace phantom::atm

@@ -1,0 +1,53 @@
+#include "atm/switch.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace phantom::atm {
+
+std::size_t Switch::add_port(sim::Rate rate, std::size_t queue_limit,
+                             Link link,
+                             std::unique_ptr<PortController> controller,
+                             QueueDiscipline discipline) {
+  ports_.push_back(std::make_unique<OutputPort>(
+      *sim_, rate, queue_limit, link, std::move(controller), discipline));
+  return ports_.size() - 1;
+}
+
+void Switch::route_vc(int vc, std::size_t forward_port,
+                      std::size_t backward_port) {
+  if (forward_port >= ports_.size() || backward_port >= ports_.size()) {
+    throw std::out_of_range{"route_vc: port index out of range"};
+  }
+  const auto [_, inserted] = routes_.emplace(vc, Route{forward_port, backward_port});
+  if (!inserted) {
+    throw std::invalid_argument{"route_vc: VC already routed on " + name_};
+  }
+}
+
+void Switch::receive_cell(Cell cell) {
+  const auto it = routes_.find(cell.vc);
+  if (it == routes_.end()) {
+    ++unrouted_;
+    return;
+  }
+  const Route route = it->second;
+  OutputPort& fwd = *ports_[route.forward_port];
+  switch (cell.kind) {
+    case CellKind::kData:
+      fwd.send(cell);
+      break;
+    case CellKind::kForwardRm:
+      fwd.controller().on_forward_rm(cell, fwd.queue_length());
+      fwd.send(cell);
+      break;
+    case CellKind::kBackwardRm:
+      // Feedback for the forward direction is written here, then the
+      // cell continues along the reverse path.
+      fwd.controller().on_backward_rm(cell, fwd.queue_length());
+      ports_[route.backward_port]->send(cell);
+      break;
+  }
+}
+
+}  // namespace phantom::atm

@@ -1,0 +1,60 @@
+// Output-queued ATM switch with per-VC routing.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "atm/cell.h"
+#include "atm/output_port.h"
+#include "sim/simulator.h"
+
+namespace phantom::atm {
+
+/// A switch is a set of output ports plus a VC routing table. Forward
+/// cells (data / FRM) of a VC exit via the VC's forward port; backward
+/// RM cells exit via the VC's backward port *after* the forward port's
+/// controller has written its feedback into them — this models the
+/// standard ABR arrangement where the congestion state of the forward
+/// direction is conveyed on the returning RM cells [Sat96].
+class Switch final : public CellSink {
+ public:
+  explicit Switch(sim::Simulator& sim, std::string name = "switch")
+      : sim_{&sim}, name_{std::move(name)} {}
+
+  /// Adds an output port; returns its index.
+  std::size_t add_port(sim::Rate rate, std::size_t queue_limit, Link link,
+                       std::unique_ptr<PortController> controller,
+                       QueueDiscipline discipline = QueueDiscipline::kFifo);
+
+  /// Routes a VC: forward cells to `forward_port`, backward RM cells to
+  /// `backward_port` (both indices from add_port). A VC may be routed at
+  /// most once per switch.
+  void route_vc(int vc, std::size_t forward_port, std::size_t backward_port);
+
+  void receive_cell(Cell cell) override;
+
+  [[nodiscard]] OutputPort& port(std::size_t i) { return *ports_.at(i); }
+  [[nodiscard]] const OutputPort& port(std::size_t i) const {
+    return *ports_.at(i);
+  }
+  [[nodiscard]] std::size_t num_ports() const { return ports_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Cells that arrived for a VC with no route (counts a modelling bug).
+  [[nodiscard]] std::uint64_t unrouted_cells() const { return unrouted_; }
+
+ private:
+  struct Route {
+    std::size_t forward_port;
+    std::size_t backward_port;
+  };
+
+  sim::Simulator* sim_;
+  std::string name_;
+  std::vector<std::unique_ptr<OutputPort>> ports_;
+  std::unordered_map<int, Route> routes_;
+  std::uint64_t unrouted_ = 0;
+};
+
+}  // namespace phantom::atm

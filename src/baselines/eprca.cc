@@ -1,0 +1,36 @@
+#include "baselines/eprca.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace phantom::baselines {
+
+EprcaController::EprcaController(sim::Simulator& sim, sim::Rate link_capacity,
+                                 EprcaConfig config)
+    : sim_{&sim},
+      config_{config},
+      link_bps_{link_capacity.bits_per_sec()},
+      macr_{std::min(config.initial_macr.bits_per_sec(), link_bps_)},
+      macr_trace_{"eprca.macr"} {
+  config_.validate();
+  assert(link_bps_ > 0.0);
+  macr_trace_.record(sim_->now(), macr_);
+}
+
+void EprcaController::on_forward_rm(atm::Cell& cell, std::size_t) {
+  macr_ += config_.averaging * (cell.ccr.bits_per_sec() - macr_);
+  macr_ = std::clamp(macr_, 0.0, link_bps_);
+  macr_trace_.record(sim_->now(), macr_);
+}
+
+void EprcaController::on_backward_rm(atm::Cell& cell, std::size_t queue_len) {
+  if (queue_len > config_.very_congested_threshold) {
+    cell.er = std::min(cell.er, sim::Rate::bps(config_.mrf * macr_));
+    cell.ci = true;  // beats down every session indiscriminately
+  } else if (queue_len > config_.queue_threshold &&
+             cell.ccr.bits_per_sec() > config_.dpf * macr_) {
+    cell.er = std::min(cell.er, sim::Rate::bps(config_.erf * macr_));
+  }
+}
+
+}  // namespace phantom::baselines

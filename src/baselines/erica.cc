@@ -1,0 +1,75 @@
+#include "baselines/erica.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "atm/cell.h"
+
+namespace phantom::baselines {
+
+EricaController::EricaController(sim::Simulator& sim, sim::Rate link_capacity,
+                                 EricaConfig config)
+    : sim_{&sim},
+      config_{config},
+      target_bps_{link_capacity.bits_per_sec() * config.utilization},
+      fair_share_{std::min(config.initial_fair_share.bits_per_sec(),
+                           target_bps_)},
+      trace_{"erica.fair_share"} {
+  config_.validate();
+  assert(link_capacity.bits_per_sec() > 0.0);
+  trace_.record(sim_->now(), fair_share_);
+  sim_->schedule(config_.interval, [this] { on_interval(); });
+}
+
+void EricaController::on_cell_accepted(const atm::Cell&, std::size_t) {
+  ++arrived_cells_;
+}
+
+void EricaController::on_cell_dropped(const atm::Cell&) { ++arrived_cells_; }
+
+void EricaController::on_forward_rm(atm::Cell& cell, std::size_t) {
+  VcState& vc = vcs_[cell.vc];
+  vc.ccr_bps = cell.ccr.bits_per_sec();
+  vc.last_seen_interval = interval_index_;
+}
+
+void EricaController::on_interval() {
+  const double input_bps = static_cast<double>(arrived_cells_) *
+                           static_cast<double>(atm::kCellBits) /
+                           config_.interval.seconds();
+  arrived_cells_ = 0;
+  ++interval_index_;
+
+  // Expire idle VCs so departures release their share.
+  const auto timeout =
+      static_cast<std::uint64_t>(config_.activity_timeout_intervals);
+  for (auto it = vcs_.begin(); it != vcs_.end();) {
+    if (interval_index_ - it->second.last_seen_interval > timeout) {
+      it = vcs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  load_factor_ = input_bps / target_bps_;
+  if (!vcs_.empty()) {
+    fair_share_ = target_bps_ / static_cast<double>(vcs_.size());
+  }
+  trace_.record(sim_->now(), fair_share_);
+  sim_->schedule(config_.interval, [this] { on_interval(); });
+}
+
+void EricaController::on_backward_rm(atm::Cell& cell, std::size_t) {
+  const auto it = vcs_.find(cell.vc);
+  const double ccr = it == vcs_.end() ? 0.0 : it->second.ccr_bps;
+  double er = fair_share_;
+  if (load_factor_ > 0.0) {
+    // A VC already above the overload-scaled share keeps that much,
+    // which lets under-share VCs catch up without collapsing anyone.
+    er = std::max(er, ccr / std::max(load_factor_, 1e-9));
+  }
+  er = std::min(er, target_bps_);
+  cell.er = std::min(cell.er, sim::Rate::bps(er));
+}
+
+}  // namespace phantom::baselines

@@ -1,0 +1,94 @@
+// Tunable parameters of the Phantom algorithm.
+//
+// Defaults follow DESIGN.md §3. Where the paper's OCR dump does not pin a
+// value, the default is marked [reconstructed] there, and the ablation
+// bench (`bench_tab_ablation`) sweeps it.
+#pragma once
+
+#include <stdexcept>
+
+#include "sim/time.h"
+
+namespace phantom::core {
+
+struct PhantomConfig {
+  /// Measurement interval Δt: residual bandwidth is accumulated over
+  /// fixed windows of this length.
+  sim::Time interval = sim::Time::ms(1);
+
+  /// Target utilization u: the controller steers the port toward u * C,
+  /// leaving headroom that drains queues ("the amount of unused
+  /// bandwidth controls the algorithm").
+  double utilization = 0.95;
+
+  /// Base gain when MACR must grow (residual above the phantom's rate).
+  double alpha_inc = 1.0 / 16;
+
+  /// Base gain when MACR must shrink; larger than alpha_inc so that
+  /// congestion is reacted to faster than spare capacity is claimed.
+  double alpha_dec = 1.0 / 4;
+
+  /// Gain h of the Jacobson mean-deviation filter on the residual error.
+  double dev_gain = 1.0 / 8;
+
+  /// Noise deadband scale k: the effective gain is
+  /// alpha * |err| / (|err| + k * DEV), so errors within the measured
+  /// noise produce small steps and genuine load changes produce nearly
+  /// the full base gain.
+  double noise_scale = 1.0;
+
+  /// Disable to run the fixed-gain ablation.
+  bool adaptive_gain = true;
+
+  /// MACR never drops below max(min_macr, min_macr_fraction * u * C).
+  /// The absolute floor is the paper's TCR (10 cells/s: sources must
+  /// always be able to probe); the relative floor keeps a transient
+  /// overshoot from dragging every session's ER to near-zero, which at
+  /// large session counts turns into a full-link limit cycle (crash ->
+  /// idle -> synchronized ramp -> crash). 1% of target is far below any
+  /// fair share for n <= ~100 sessions yet breaks the cycle — see the
+  /// 50-session scale tests.
+  sim::Rate min_macr = sim::Rate::cells_per_sec(10);
+  double min_macr_fraction = 0.01;
+
+  /// Initial MACR; the paper's end systems start at ICR = 8.5 Mb/s and
+  /// the controller starts its phantom at the same point.
+  sim::Rate initial_macr = sim::Rate::mbps(8.5);
+
+  /// Optional binary backup: set EFCI on queued data cells while the
+  /// queue exceeds this many cells. Phantom proper is pure explicit-rate;
+  /// the paper's TCP EFCI mechanism (Fig. 11) uses this hook. Set to 0
+  /// to disable (default).
+  std::size_t efci_queue_threshold = 0;
+
+  /// Explicit-rate mode (default): backward RM cells get
+  /// ER := min(ER, MACR). Binary mode (false): ER is left alone and the
+  /// controller instead EFCI-marks data cells of an *over-subscribed*
+  /// port (offered load above u*C) — the CI-bit mechanism the paper's
+  /// footnote mentions ("Following the DECbit [RJ90], the ATM flow
+  /// control supports another mechanism using the CI bit"). Binary
+  /// feedback only signals increase/decrease, so convergence is slower
+  /// and fairness weaker — bench_tab_ablation quantifies the gap.
+  bool explicit_rate_mode = true;
+
+  void validate() const {
+    if (interval <= sim::Time::zero())
+      throw std::invalid_argument{"interval must be positive"};
+    if (utilization <= 0.0 || utilization > 1.0)
+      throw std::invalid_argument{"utilization must be in (0, 1]"};
+    if (alpha_inc <= 0.0 || alpha_inc > 1.0)
+      throw std::invalid_argument{"alpha_inc must be in (0, 1]"};
+    if (alpha_dec <= 0.0 || alpha_dec > 1.0)
+      throw std::invalid_argument{"alpha_dec must be in (0, 1]"};
+    if (dev_gain <= 0.0 || dev_gain > 1.0)
+      throw std::invalid_argument{"dev_gain must be in (0, 1]"};
+    if (noise_scale < 0.0)
+      throw std::invalid_argument{"noise_scale must be >= 0"};
+    if (min_macr.bits_per_sec() <= 0.0)
+      throw std::invalid_argument{"min_macr must be positive"};
+    if (min_macr_fraction < 0.0 || min_macr_fraction >= 1.0)
+      throw std::invalid_argument{"min_macr_fraction must be in [0, 1)"};
+  }
+};
+
+}  // namespace phantom::core

@@ -1,0 +1,57 @@
+#include "core/phantom_controller.h"
+
+#include <algorithm>
+
+#include "atm/cell.h"
+
+namespace phantom::core {
+
+PhantomController::PhantomController(sim::Simulator& sim,
+                                     sim::Rate link_capacity,
+                                     PhantomConfig config)
+    : sim_{&sim},
+      config_{config},
+      filter_{link_capacity, config},
+      macr_trace_{"macr"} {
+  macr_trace_.record(sim_->now(), filter_.macr().bits_per_sec());
+  sim_->schedule(config_.interval, [this] { on_interval(); });
+}
+
+void PhantomController::on_cell_accepted(const atm::Cell&, std::size_t) {
+  ++arrived_cells_;
+}
+
+void PhantomController::on_cell_dropped(const atm::Cell&) {
+  // Dropped cells still represent offered load: counting them keeps the
+  // residual-bandwidth signal strongly negative during overload, which
+  // is what drives MACR down fast enough to drain the queue.
+  ++arrived_cells_;
+}
+
+void PhantomController::on_interval() {
+  const double cells = static_cast<double>(arrived_cells_);
+  arrived_cells_ = 0;
+  const sim::Rate offered = sim::Rate::bps(
+      cells * static_cast<double>(atm::kCellBits) / config_.interval.seconds());
+  over_subscribed_ = offered > filter_.target();
+  const sim::Rate macr = filter_.update(offered);
+  ++intervals_;
+  macr_trace_.record(sim_->now(), macr.bits_per_sec());
+  sim_->schedule(config_.interval, [this] { on_interval(); });
+}
+
+void PhantomController::on_backward_rm(atm::Cell& cell, std::size_t) {
+  if (config_.explicit_rate_mode) {
+    cell.er = std::min(cell.er, filter_.macr());
+  }
+  // Binary mode conveys congestion via EFCI on data cells (latched by
+  // the destination into the CI bit of returning RM cells), not here.
+}
+
+bool PhantomController::mark_efci(std::size_t queue_len) const {
+  if (!config_.explicit_rate_mode && over_subscribed_) return true;
+  return config_.efci_queue_threshold > 0 &&
+         queue_len >= config_.efci_queue_threshold;
+}
+
+}  // namespace phantom::core

@@ -1,0 +1,42 @@
+#include "core/residual_filter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace phantom::core {
+
+ResidualFilter::ResidualFilter(sim::Rate link_capacity,
+                               const PhantomConfig& config)
+    : target_{link_capacity.bits_per_sec() * config.utilization},
+      floor_{std::max(config.min_macr.bits_per_sec(),
+                      config.min_macr_fraction * link_capacity.bits_per_sec() *
+                          config.utilization)},
+      alpha_inc_{config.alpha_inc},
+      alpha_dec_{config.alpha_dec},
+      dev_gain_{config.dev_gain},
+      noise_scale_{config.noise_scale},
+      adaptive_{config.adaptive_gain},
+      macr_{std::clamp(config.initial_macr.bits_per_sec(), floor_, target_)} {
+  config.validate();
+  assert(link_capacity.bits_per_sec() > 0.0);
+}
+
+sim::Rate ResidualFilter::update(sim::Rate offered) {
+  const double delta = target_ - offered.bits_per_sec();  // residual bandwidth
+  const double err = delta - macr_;
+  const double abs_err = std::fabs(err);
+  dev_ += dev_gain_ * (abs_err - dev_);
+
+  const double base = err > 0.0 ? alpha_inc_ : alpha_dec_;
+  double alpha = base;
+  if (adaptive_) {
+    const double denom = abs_err + noise_scale_ * dev_;
+    alpha = denom > 0.0 ? base * abs_err / denom : 0.0;
+  }
+  macr_ += alpha * err;
+  macr_ = std::clamp(macr_, floor_, target_);
+  return macr();
+}
+
+}  // namespace phantom::core

@@ -1,0 +1,50 @@
+// The Phantom MACR filter — the paper's constant-space core, isolated
+// from any transport so the ATM switch controller and the TCP router
+// mechanisms share one implementation.
+#pragma once
+
+#include "core/phantom_config.h"
+#include "sim/time.h"
+
+namespace phantom::core {
+
+/// Maintains the phantom session's rate (MACR) from per-interval
+/// measurements of offered load on a link of known capacity.
+///
+/// Update per interval (DESIGN.md §1):
+///     Δ    = u·C − offered          (residual bandwidth)
+///     ERR  = Δ − MACR
+///     DEV  = (1−h)·DEV + h·|ERR|    (Jacobson mean deviation [Jac88])
+///     α    = base(ERR sign) · |ERR| / (|ERR| + k·DEV)   [adaptive]
+///     MACR = MACR + α·ERR           (== (1−α)·MACR + α·Δ)
+/// then clamped into [min_macr, u·C].
+///
+/// State: two doubles (MACR, DEV). That, plus the interval arrival
+/// counter in the caller, is the algorithm's entire per-port footprint —
+/// the "constant space" property the paper's title claims.
+class ResidualFilter {
+ public:
+  ResidualFilter(sim::Rate link_capacity, const PhantomConfig& config);
+
+  /// Feeds one interval's offered load (arrivals including drops, as a
+  /// rate) and advances the filter. Returns the new MACR.
+  sim::Rate update(sim::Rate offered);
+
+  [[nodiscard]] sim::Rate macr() const { return sim::Rate::bps(macr_); }
+  [[nodiscard]] double deviation_bps() const { return dev_; }
+  [[nodiscard]] sim::Rate target() const { return sim::Rate::bps(target_); }
+
+ private:
+  double target_;  // u * C in bps
+  double floor_;
+  double alpha_inc_;
+  double alpha_dec_;
+  double dev_gain_;
+  double noise_scale_;
+  bool adaptive_;
+
+  double macr_;
+  double dev_ = 0.0;
+};
+
+}  // namespace phantom::core

@@ -1,0 +1,50 @@
+#include "exp/factories.h"
+
+namespace phantom::exp {
+
+std::string to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kPhantom: return "Phantom";
+    case Algorithm::kEprca: return "EPRCA";
+    case Algorithm::kAprc: return "APRC";
+    case Algorithm::kCapc: return "CAPC";
+    case Algorithm::kErica: return "ERICA";
+  }
+  return "?";
+}
+
+topo::ControllerFactory make_factory(Algorithm a) {
+  switch (a) {
+    case Algorithm::kPhantom:
+      return make_phantom_factory(core::PhantomConfig{});
+    case Algorithm::kEprca:
+      return [](sim::Simulator& sim, sim::Rate rate) {
+        return std::make_unique<baselines::EprcaController>(
+            sim, rate, baselines::EprcaConfig{});
+      };
+    case Algorithm::kAprc:
+      return [](sim::Simulator& sim, sim::Rate rate) {
+        return std::make_unique<baselines::AprcController>(
+            sim, rate, baselines::AprcConfig{});
+      };
+    case Algorithm::kCapc:
+      return [](sim::Simulator& sim, sim::Rate rate) {
+        return std::make_unique<baselines::CapcController>(
+            sim, rate, baselines::CapcConfig{});
+      };
+    case Algorithm::kErica:
+      return [](sim::Simulator& sim, sim::Rate rate) {
+        return std::make_unique<baselines::EricaController>(
+            sim, rate, baselines::EricaConfig{});
+      };
+  }
+  return nullptr;
+}
+
+topo::ControllerFactory make_phantom_factory(core::PhantomConfig config) {
+  return [config](sim::Simulator& sim, sim::Rate rate) {
+    return std::make_unique<core::PhantomController>(sim, rate, config);
+  };
+}
+
+}  // namespace phantom::exp

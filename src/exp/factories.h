@@ -1,0 +1,28 @@
+// Algorithm selection: build any of the four controllers behind the
+// common PortController interface.
+#pragma once
+
+#include <string>
+
+#include "baselines/aprc.h"
+#include "baselines/capc.h"
+#include "baselines/eprca.h"
+#include "baselines/erica.h"
+#include "core/phantom_config.h"
+#include "core/phantom_controller.h"
+#include "topo/abr_network.h"
+
+namespace phantom::exp {
+
+enum class Algorithm { kPhantom, kEprca, kAprc, kCapc, kErica };
+
+[[nodiscard]] std::string to_string(Algorithm a);
+
+/// Factory with each algorithm's default (recommended) parameters.
+[[nodiscard]] topo::ControllerFactory make_factory(Algorithm a);
+
+/// Phantom with explicit parameters (ablations, TCP-threshold sweeps).
+[[nodiscard]] topo::ControllerFactory make_phantom_factory(
+    core::PhantomConfig config);
+
+}  // namespace phantom::exp

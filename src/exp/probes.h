@@ -1,0 +1,79 @@
+// Measurement probes shared by tests, examples and the bench harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atm/output_port.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "topo/abr_network.h"
+
+namespace phantom::exp {
+
+/// Per-session goodput over a marked window, from delivered-cell deltas
+/// at the destinations. This is how the paper's per-session throughput
+/// numbers are measured (rates of *useful* data cells, not ACR).
+class GoodputProbe {
+ public:
+  GoodputProbe(sim::Simulator& sim, topo::AbrNetwork& net)
+      : sim_{&sim}, net_{&net} {}
+
+  /// Starts (or restarts) the measurement window at the current time.
+  void mark();
+
+  /// Per-session goodput in Mb/s since the last mark().
+  [[nodiscard]] std::vector<double> rates_mbps() const;
+
+  /// Aggregate goodput in Mb/s since the last mark().
+  [[nodiscard]] double total_mbps() const;
+
+ private:
+  sim::Simulator* sim_;
+  topo::AbrNetwork* net_;
+  sim::Time t0_;
+  std::vector<std::uint64_t> base_;
+};
+
+/// Samples a port's queue length into a Trace on a fixed period — the
+/// paper's "Queue length" curves.
+class QueueSampler {
+ public:
+  QueueSampler(sim::Simulator& sim, const atm::OutputPort& port,
+               sim::Time period = sim::Time::us(500));
+
+  QueueSampler(const QueueSampler&) = delete;
+  QueueSampler& operator=(const QueueSampler&) = delete;
+
+  [[nodiscard]] const sim::Trace& trace() const { return trace_; }
+
+ private:
+  void tick();
+
+  sim::Simulator* sim_;
+  const atm::OutputPort* port_;
+  sim::Time period_;
+  sim::Trace trace_;
+};
+
+/// Samples a controller's fair-share estimate (MACR / ERS) into a Trace.
+class FairShareSampler {
+ public:
+  FairShareSampler(sim::Simulator& sim, const atm::PortController& controller,
+                   sim::Time period = sim::Time::us(500));
+
+  FairShareSampler(const FairShareSampler&) = delete;
+  FairShareSampler& operator=(const FairShareSampler&) = delete;
+
+  [[nodiscard]] const sim::Trace& trace() const { return trace_; }
+
+ private:
+  void tick();
+
+  sim::Simulator* sim_;
+  const atm::PortController* controller_;
+  sim::Time period_;
+  sim::Trace trace_;
+};
+
+}  // namespace phantom::exp

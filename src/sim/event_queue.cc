@@ -1,0 +1,54 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace phantom::sim {
+
+EventId EventQueue::schedule(Time at, Callback cb) {
+  assert(cb && "event callback must be callable");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq});
+  callbacks_.emplace(seq, std::move(cb));
+  ++live_count_;
+  return EventId{seq};
+}
+
+void EventQueue::cancel(EventId id) {
+  if (!id.valid()) return;
+  const auto it = callbacks_.find(id.seq_);
+  if (it == callbacks_.end()) return;  // already fired or cancelled
+  callbacks_.erase(it);
+  cancelled_.insert(id.seq_);
+  --live_count_;
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled_head();
+  assert(!heap_.empty() && "next_time() on empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty() && "pop() on empty queue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.seq);
+  assert(it != callbacks_.end());
+  Popped out{top.time, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return out;
+}
+
+}  // namespace phantom::sim

@@ -1,0 +1,85 @@
+// Pending-event set for the discrete-event kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace phantom::sim {
+
+/// Opaque handle identifying a scheduled event; usable to cancel it.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  friend constexpr bool operator==(EventId, EventId) = default;
+
+ private:
+  friend class EventQueue;
+  explicit constexpr EventId(std::uint64_t s) : seq_{s} {}
+  std::uint64_t seq_ = 0;
+};
+
+/// Min-heap of timestamped callbacks with deterministic FIFO tie-breaking:
+/// events scheduled for the same instant fire in scheduling order. This is
+/// what makes simulations reproducible run-to-run regardless of heap
+/// internals.
+///
+/// Cancellation is lazy: cancelled ids are remembered and their events are
+/// discarded when they reach the top of the heap, so cancel is O(1) and
+/// pop stays O(log n).
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `at`. `at` may equal the time of the
+  /// event currently executing (zero-delay events are allowed) but must
+  /// never be in the past relative to the last popped event.
+  EventId schedule(Time at, Callback cb);
+
+  /// Cancels a pending event. Cancelling an already-fired or already-
+  /// cancelled event is a harmless no-op.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event. Requires !empty().
+  [[nodiscard]] Time next_time() const;
+
+  /// Removes and returns the earliest live event. Requires !empty().
+  struct Popped {
+    Time time;
+    Callback callback;
+  };
+  Popped pop();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    // Ordered for a min-heap: later time (or later seq at equal time)
+    // has lower priority.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_head() const;
+
+  // `heap_` orders (time, seq); callbacks live in `callbacks_` keyed by
+  // seq so Entry stays trivially copyable.
+  mutable std::priority_queue<Entry> heap_;
+  mutable std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace phantom::sim

@@ -1,0 +1,51 @@
+// Seeded random stream for workload generators.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+
+#include "sim/time.h"
+
+namespace phantom::sim {
+
+/// Thin wrapper over std::mt19937_64 exposing only the distributions the
+/// models need. Keeping one engine per Simulator makes an entire run a
+/// pure function of its seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_{seed} {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    assert(lo <= hi);
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean.
+  [[nodiscard]] double exponential(double mean) {
+    assert(mean > 0.0);
+    return std::exponential_distribution<double>{1.0 / mean}(engine_);
+  }
+
+  /// Exponentially distributed time span with the given mean.
+  [[nodiscard]] Time exponential_time(Time mean) {
+    return Time::from_seconds(exponential(mean.seconds()));
+  }
+
+  [[nodiscard]] bool bernoulli(double p) {
+    assert(p >= 0.0 && p <= 1.0);
+    return std::bernoulli_distribution{p}(engine_);
+  }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace phantom::sim

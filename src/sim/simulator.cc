@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace phantom::sim {
+
+EventId Simulator::schedule(Time delay, EventQueue::Callback cb) {
+  assert(!delay.is_negative() && "cannot schedule into the past");
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::schedule_at(Time at, EventQueue::Callback cb) {
+  assert(at >= now_ && "cannot schedule into the past");
+  return queue_.schedule(at, std::move(cb));
+}
+
+std::uint64_t Simulator::run() {
+  stopped_ = false;
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && !stopped_) {
+    auto [time, callback] = queue_.pop();
+    assert(time >= now_);
+    now_ = time;
+    callback();
+    ++executed;
+  }
+  return executed;
+}
+
+std::uint64_t Simulator::run_until(Time deadline) {
+  assert(deadline >= now_);
+  stopped_ = false;
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && !stopped_ && queue_.next_time() <= deadline) {
+    auto [time, callback] = queue_.pop();
+    assert(time >= now_);
+    now_ = time;
+    callback();
+    ++executed;
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+}  // namespace phantom::sim

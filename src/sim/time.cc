@@ -1,0 +1,35 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace phantom::sim {
+
+std::string Time::to_string() const {
+  char buf[48];
+  const double ns = static_cast<double>(ns_);
+  if (std::llabs(ns_) >= 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.6gs", ns / 1e9);
+  } else if (std::llabs(ns_) >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.6gms", ns / 1e6);
+  } else if (std::llabs(ns_) >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.6gus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+std::string Rate::to_string() const {
+  char buf[48];
+  if (std::fabs(bps_) >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.6gMb/s", bps_ / 1e6);
+  } else if (std::fabs(bps_) >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.6gKb/s", bps_ / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6gb/s", bps_);
+  }
+  return buf;
+}
+
+}  // namespace phantom::sim

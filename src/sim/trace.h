@@ -1,0 +1,47 @@
+// Time-series recording for experiment output.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace phantom::sim {
+
+/// One recorded observation.
+struct Sample {
+  Time time;
+  double value = 0.0;
+  friend bool operator==(const Sample&, const Sample&) = default;
+};
+
+/// Append-only time series, the raw material of every figure the paper
+/// plots (MACR over time, queue length over time, per-session rate...).
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string name) : name_{std::move(name)} {}
+
+  void record(Time t, double v) { samples_.push_back(Sample{t, v}); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::span<const Sample> samples() const { return samples_; }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] const Sample& back() const { return samples_.back(); }
+
+  /// Last recorded value, or `fallback` if nothing was recorded yet.
+  [[nodiscard]] double last_or(double fallback) const {
+    return samples_.empty() ? fallback : samples_.back().value;
+  }
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace phantom::sim

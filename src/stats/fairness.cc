@@ -1,0 +1,164 @@
+#include "stats/fairness.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace phantom::stats {
+
+double jain_index(std::span<const double> rates) {
+  if (rates.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double r : rates) {
+    assert(r >= 0.0 && "rates must be non-negative");
+    sum += r;
+    sum_sq += r * r;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(rates.size()) * sum_sq);
+}
+
+double maxmin_closeness(std::span<const double> measured,
+                        std::span<const double> ideal) {
+  assert(measured.size() == ideal.size());
+  if (measured.empty()) return 1.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const double lo = std::min(measured[i], ideal[i]);
+    const double hi = std::max(measured[i], ideal[i]);
+    acc += (hi == 0.0) ? 1.0 : lo / hi;
+  }
+  return acc / static_cast<double>(measured.size());
+}
+
+std::size_t MaxMinSolver::add_link(sim::Rate capacity) {
+  if (capacity.bits_per_sec() <= 0.0) {
+    throw std::invalid_argument{"link capacity must be positive"};
+  }
+  capacities_.push_back(capacity);
+  return capacities_.size() - 1;
+}
+
+std::size_t MaxMinSolver::add_session(std::vector<std::size_t> links,
+                                      sim::Rate demand) {
+  if (links.empty()) {
+    throw std::invalid_argument{"a session must traverse at least one link"};
+  }
+  if (demand.bits_per_sec() <= 0.0) {
+    throw std::invalid_argument{"session demand must be positive"};
+  }
+  for (const std::size_t l : links) {
+    if (l >= capacities_.size()) {
+      throw std::out_of_range{"session references unknown link"};
+    }
+  }
+  sessions_.push_back(std::move(links));
+  demands_.push_back(demand.bits_per_sec());
+  return sessions_.size() - 1;
+}
+
+std::vector<sim::Rate> MaxMinSolver::solve(bool phantom_per_link,
+                                           double utilization) const {
+  assert(utilization > 0.0 && utilization <= 1.0);
+
+  // Build the working session list; phantom sessions are single-hop
+  // greedy sessions appended after the real ones and dropped from the
+  // result.
+  std::vector<std::vector<std::size_t>> sessions = sessions_;
+  std::vector<double> demands = demands_;
+  if (phantom_per_link) {
+    for (std::size_t l = 0; l < capacities_.size(); ++l) {
+      sessions.push_back({l});
+      demands.push_back(std::numeric_limits<double>::infinity());
+    }
+  }
+
+  const std::size_t n = sessions.size();
+  std::vector<double> rate(n, 0.0);
+  std::vector<bool> frozen(n, false);
+  std::vector<double> headroom(capacities_.size());
+  for (std::size_t l = 0; l < capacities_.size(); ++l) {
+    headroom[l] = capacities_[l].bits_per_sec() * utilization;
+  }
+  std::vector<std::size_t> unfrozen_on(capacities_.size(), 0);
+  for (const auto& s : sessions) {
+    for (const std::size_t l : s) ++unfrozen_on[l];
+  }
+
+  // Progressive filling: all unfrozen sessions share one common level.
+  // Each round we find the link that saturates first, pin its sessions
+  // at that level, and continue. O(links * sessions) overall — fine for
+  // simulation-scale topologies.
+  double level = 0.0;
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    // The filling level rises until either a link saturates or some
+    // session's demand is reached, whichever comes first.
+    double next_level = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < capacities_.size(); ++l) {
+      if (unfrozen_on[l] == 0) continue;
+      next_level = std::min(
+          next_level, headroom[l] / static_cast<double>(unfrozen_on[l]));
+    }
+    double min_demand = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < n; ++s) {
+      if (!frozen[s]) min_demand = std::min(min_demand, demands[s]);
+    }
+    const bool demand_limited = min_demand < next_level;
+    if (demand_limited) next_level = min_demand;
+    assert(next_level >= level - 1e-9 && "filling level must be monotone");
+    level = next_level;
+
+    bool froze_any = false;
+    if (demand_limited) {
+      // Freeze every session whose demand is met at this level.
+      for (std::size_t s = 0; s < n; ++s) {
+        if (frozen[s] || demands[s] > level * (1.0 + 1e-12)) continue;
+        frozen[s] = true;
+        froze_any = true;
+        rate[s] = demands[s];
+        --remaining;
+        for (const std::size_t l : sessions[s]) {
+          headroom[l] -= demands[s];
+          --unfrozen_on[l];
+        }
+      }
+    } else {
+      // Freeze every unfrozen session crossing a link saturated at
+      // `level`.
+      std::vector<bool> saturated(capacities_.size(), false);
+      for (std::size_t l = 0; l < capacities_.size(); ++l) {
+        if (unfrozen_on[l] == 0) continue;
+        const double share = headroom[l] / static_cast<double>(unfrozen_on[l]);
+        saturated[l] = share <= level * (1.0 + 1e-12);
+      }
+      for (std::size_t s = 0; s < n; ++s) {
+        if (frozen[s]) continue;
+        const bool hits_bottleneck = std::any_of(
+            sessions[s].begin(), sessions[s].end(),
+            [&](std::size_t l) { return saturated[l]; });
+        if (!hits_bottleneck) continue;
+        frozen[s] = true;
+        froze_any = true;
+        rate[s] = level;
+        --remaining;
+        for (const std::size_t l : sessions[s]) {
+          headroom[l] -= level;
+          --unfrozen_on[l];
+        }
+      }
+    }
+    assert(froze_any && "progressive filling must make progress");
+    if (!froze_any) break;  // defensive: avoid an infinite loop in release
+  }
+
+  std::vector<sim::Rate> out;
+  out.reserve(sessions_.size());
+  for (std::size_t s = 0; s < sessions_.size(); ++s) {
+    out.push_back(sim::Rate::bps(rate[s]));
+  }
+  return out;
+}
+
+}  // namespace phantom::stats

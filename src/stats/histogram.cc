@@ -1,0 +1,47 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phantom::stats {
+
+Histogram::Histogram(double upper, std::size_t bins)
+    : upper_{upper},
+      bin_width_{upper / static_cast<double>(bins)},
+      bins_(bins + 1, 0) {
+  if (upper <= 0.0) throw std::invalid_argument{"upper must be positive"};
+  if (bins == 0) throw std::invalid_argument{"need at least one bin"};
+}
+
+void Histogram::add(double value) {
+  if (value < 0.0) throw std::invalid_argument{"histogram values must be >= 0"};
+  ++count_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+  if (value >= upper_) {
+    ++bins_.back();
+  } else {
+    ++bins_[static_cast<std::size_t>(value / bin_width_)];
+  }
+}
+
+double Histogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"q must be in [0,1]"};
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b + 1 < bins_.size(); ++b) {
+    const double next = cumulative + static_cast<double>(bins_[b]);
+    if (next >= target) {
+      const double within =
+          bins_[b] == 0
+              ? 0.0
+              : (target - cumulative) / static_cast<double>(bins_[b]);
+      return (static_cast<double>(b) + within) * bin_width_;
+    }
+    cumulative = next;
+  }
+  return upper_;  // landed in the overflow bin
+}
+
+}  // namespace phantom::stats

@@ -1,0 +1,42 @@
+// Fixed-bin histogram with percentile queries.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace phantom::stats {
+
+/// Linear-bin histogram over [0, upper). Values at or above `upper`
+/// land in a dedicated overflow bin, so percentiles stay meaningful
+/// even with outliers. Used for queueing-delay and queue-occupancy
+/// distributions (the p99 columns of the comparison tables).
+class Histogram {
+ public:
+  /// `upper` is the exclusive upper bound of the binned range.
+  Histogram(double upper, std::size_t bins);
+
+  void add(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] std::uint64_t overflow_count() const { return bins_.back(); }
+
+  /// Value at quantile q in [0, 1], linearly interpolated within the
+  /// bin. Overflow-bin hits report `upper` (a lower bound on the true
+  /// value). Zero if the histogram is empty.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double upper_;
+  double bin_width_;
+  std::vector<std::uint64_t> bins_;  // last bin = overflow
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace phantom::stats

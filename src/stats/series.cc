@@ -1,0 +1,84 @@
+#include "stats/series.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace phantom::stats {
+
+using sim::Sample;
+using sim::Time;
+
+Summary summarize(std::span<const Sample> samples, Time t0, Time t1) {
+  Summary s;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const Sample& x : samples) {
+    if (x.time < t0 || x.time > t1) continue;
+    if (s.count == 0) {
+      s.min = s.max = x.value;
+    } else {
+      s.min = std::min(s.min, x.value);
+      s.max = std::max(s.max, x.value);
+    }
+    sum += x.value;
+    sum_sq += x.value * x.value;
+    ++s.count;
+  }
+  if (s.count > 0) {
+    const auto n = static_cast<double>(s.count);
+    s.mean = sum / n;
+    const double var = std::max(0.0, sum_sq / n - s.mean * s.mean);
+    s.stddev = std::sqrt(var);
+  }
+  return s;
+}
+
+Summary summarize(std::span<const Sample> samples) {
+  return summarize(samples, Time::zero(), Time::max());
+}
+
+double value_at(std::span<const Sample> samples, Time t, double fallback) {
+  // Samples are recorded in nondecreasing time order; binary search for
+  // the last one at or before t.
+  const auto it = std::upper_bound(
+      samples.begin(), samples.end(), t,
+      [](Time lhs, const Sample& rhs) { return lhs < rhs.time; });
+  if (it == samples.begin()) return fallback;
+  return std::prev(it)->value;
+}
+
+double time_average(std::span<const Sample> samples, Time t0, Time t1) {
+  assert(t1 > t0);
+  double integral = 0.0;
+  double current = value_at(samples, t0);
+  Time cursor = t0;
+  for (const Sample& x : samples) {
+    if (x.time <= t0) continue;
+    if (x.time >= t1) break;
+    integral += current * (x.time - cursor).seconds();
+    current = x.value;
+    cursor = x.time;
+  }
+  integral += current * (t1 - cursor).seconds();
+  return integral / (t1 - t0).seconds();
+}
+
+Time convergence_time(std::span<const Sample> samples, double target,
+                      double tolerance_frac, Time min_hold) {
+  assert(tolerance_frac >= 0.0);
+  const double tol = std::abs(target) * tolerance_frac;
+  // Scan backwards for the last sample outside the band; convergence is
+  // just after it.
+  std::size_t first_inside = samples.size();
+  for (std::size_t i = samples.size(); i-- > 0;) {
+    if (std::abs(samples[i].value - target) > tol) break;
+    first_inside = i;
+  }
+  if (first_inside == samples.size()) return Time::max();
+  const Time settled = samples[first_inside].time;
+  const Time end = samples.back().time;
+  if (end - settled < min_hold) return Time::max();
+  return settled;
+}
+
+}  // namespace phantom::stats

@@ -1,0 +1,93 @@
+// Router/host output port for packets: bounded FIFO + transmitter +
+// queue policy, mirroring atm::OutputPort at packet granularity.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "sim/simulator.h"
+#include "tcp/packet.h"
+#include "tcp/queue_policy.h"
+
+namespace phantom::tcp {
+
+/// Pure-latency pipe, the packet twin of atm::Link. Optional random
+/// loss for failure-injection tests.
+class PacketLink {
+ public:
+  PacketLink(sim::Simulator& sim, sim::Time delay, PacketSink& sink,
+             double loss_probability = 0.0)
+      : sim_{&sim}, delay_{delay}, sink_{&sink}, loss_{loss_probability} {}
+
+  void deliver(Packet packet) {
+    if (loss_ > 0.0 && sim_->rng().bernoulli(loss_)) {
+      ++lost_;
+      return;
+    }
+    sim_->schedule(delay_,
+                   [sink = sink_, packet] { sink->receive_packet(packet); });
+  }
+
+  [[nodiscard]] sim::Time delay() const { return delay_; }
+  [[nodiscard]] std::uint64_t packets_lost() const { return lost_; }
+
+ private:
+  sim::Simulator* sim_;
+  sim::Time delay_;
+  PacketSink* sink_;
+  double loss_ = 0.0;
+  std::uint64_t lost_ = 0;
+};
+
+/// Output-queued packet port. The queue policy adjudicates every
+/// arriving *data* packet (ACK and Source Quench packets bypass it: the
+/// paper's mechanisms act on the data direction). `quench_tap`, when
+/// set, is invoked for packets whose verdict requests a Source Quench —
+/// the owning router wires it to the flow's reverse path.
+class PacketPort {
+ public:
+  PacketPort(sim::Simulator& sim, sim::Rate rate, std::size_t queue_limit,
+             PacketLink link, std::unique_ptr<QueuePolicy> policy);
+
+  PacketPort(const PacketPort&) = delete;
+  PacketPort& operator=(const PacketPort&) = delete;
+
+  void send(Packet packet);
+
+  void set_quench_tap(std::function<void(const Packet&)> tap) {
+    quench_tap_ = std::move(tap);
+  }
+
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] std::size_t max_queue_length() const { return max_queue_; }
+  [[nodiscard]] std::uint64_t packets_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t packets_transmitted() const {
+    return transmitted_;
+  }
+  [[nodiscard]] sim::Rate rate() const { return rate_; }
+
+  /// Never null; DropTailPolicy when none was supplied.
+  [[nodiscard]] QueuePolicy& policy() { return *policy_; }
+  [[nodiscard]] const QueuePolicy& policy() const { return *policy_; }
+
+ private:
+  void start_transmission();
+  void on_transmission_complete();
+
+  sim::Simulator* sim_;
+  sim::Rate rate_;
+  std::size_t queue_limit_;
+  PacketLink link_;
+  std::unique_ptr<QueuePolicy> policy_;
+  std::function<void(const Packet&)> quench_tap_;
+
+  std::deque<Packet> queue_;
+  bool transmitting_ = false;
+  std::size_t max_queue_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t transmitted_ = 0;
+};
+
+}  // namespace phantom::tcp

@@ -1,0 +1,55 @@
+// Router queue-management policies: the seam where the paper's four TCP
+// mechanisms (and the DropTail / RED baselines) plug into a router port.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/time.h"
+#include "tcp/packet.h"
+
+namespace phantom::tcp {
+
+/// What the policy wants done with an arriving data packet. Overflow
+/// drops are applied by the port afterwards regardless.
+struct Verdict {
+  bool drop = false;           ///< discard instead of enqueuing
+  bool mark_efci = false;      ///< set the packet's EFCI bit
+  bool send_quench = false;    ///< emit an ICMP Source Quench to the source
+
+  [[nodiscard]] static Verdict accept() { return {}; }
+  [[nodiscard]] static Verdict discard() { return {.drop = true}; }
+};
+
+/// Per-port queue policy. Called for every arriving data packet before
+/// the overflow check, so implementations observe the full offered load.
+class QueuePolicy {
+ public:
+  virtual ~QueuePolicy() = default;
+
+  /// Decides the fate of `packet` given the current queue state.
+  virtual Verdict on_arrival(const Packet& packet, std::size_t queue_len,
+                             std::size_t queue_limit) = 0;
+
+  /// The port ran out of buffer after on_arrival accepted (overflow).
+  virtual void on_overflow(const Packet& packet) { (void)packet; }
+
+  /// Fair-share estimate, zero for policies that do not compute one.
+  [[nodiscard]] virtual sim::Rate fair_share() const {
+    return sim::Rate::zero();
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Plain drop-tail: accept until the buffer overflows. The paper's
+/// baseline for the unfairness figures (Fig. 14/17 left sides).
+class DropTailPolicy final : public QueuePolicy {
+ public:
+  Verdict on_arrival(const Packet&, std::size_t, std::size_t) override {
+    return Verdict::accept();
+  }
+  [[nodiscard]] std::string name() const override { return "droptail"; }
+};
+
+}  // namespace phantom::tcp

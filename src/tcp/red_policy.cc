@@ -1,0 +1,39 @@
+#include "tcp/red_policy.h"
+
+#include <algorithm>
+
+namespace phantom::tcp {
+
+RedPolicy::RedPolicy(sim::Simulator& sim, RedConfig config)
+    : sim_{&sim}, config_{config} {
+  config_.validate();
+}
+
+Verdict RedPolicy::on_arrival(const Packet& packet, std::size_t queue_len,
+                              std::size_t) {
+  avg_ += config_.weight * (static_cast<double>(queue_len) - avg_);
+  if (!eligible(packet)) return Verdict::accept();
+  if (avg_ < config_.min_threshold) {
+    count_ = -1;
+    return Verdict::accept();
+  }
+  if (avg_ >= config_.max_threshold) {
+    count_ = 0;
+    ++early_drops_;
+    return Verdict::discard();
+  }
+  ++count_;
+  const double pb = config_.max_drop_prob *
+                    (avg_ - config_.min_threshold) /
+                    (config_.max_threshold - config_.min_threshold);
+  const double pa =
+      std::min(1.0, pb / std::max(1e-12, 1.0 - static_cast<double>(count_) * pb));
+  if (sim_->rng().bernoulli(std::clamp(pa, 0.0, 1.0))) {
+    count_ = 0;
+    ++early_drops_;
+    return Verdict::discard();
+  }
+  return Verdict::accept();
+}
+
+}  // namespace phantom::tcp

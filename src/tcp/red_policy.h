@@ -1,0 +1,60 @@
+// Random Early Detection [FJ93] — the classic router baseline the
+// paper's Selective RED mechanism builds on.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "tcp/queue_policy.h"
+
+namespace phantom::tcp {
+
+struct RedConfig {
+  double weight = 0.002;    ///< w_q: EWMA gain for the average queue
+  double min_threshold = 5;    ///< min_th, packets
+  double max_threshold = 15;   ///< max_th, packets
+  double max_drop_prob = 0.1;  ///< max_p at avg == max_th
+
+  void validate() const {
+    if (weight <= 0 || weight > 1)
+      throw std::invalid_argument{"weight must be in (0,1]"};
+    if (min_threshold < 0 || max_threshold <= min_threshold)
+      throw std::invalid_argument{"need 0 <= min_th < max_th"};
+    if (max_drop_prob <= 0 || max_drop_prob > 1)
+      throw std::invalid_argument{"max_drop_prob must be in (0,1]"};
+  }
+};
+
+/// Floyd-Jacobson RED with the count-based drop-spreading of the
+/// original paper. `eligible()` is a customization point: plain RED
+/// treats every packet as eligible; Selective RED (see
+/// phantom_policies.h) restricts eligibility to over-rate packets.
+class RedPolicy : public QueuePolicy {
+ public:
+  RedPolicy(sim::Simulator& sim, RedConfig config = {});
+
+  Verdict on_arrival(const Packet& packet, std::size_t queue_len,
+                     std::size_t queue_limit) override;
+
+  [[nodiscard]] std::string name() const override { return "red"; }
+  [[nodiscard]] double average_queue() const { return avg_; }
+  [[nodiscard]] std::uint64_t early_drops() const { return early_drops_; }
+
+ protected:
+  /// Whether this packet participates in early dropping.
+  [[nodiscard]] virtual bool eligible(const Packet& packet) const {
+    (void)packet;
+    return true;
+  }
+
+ private:
+  sim::Simulator* sim_;
+  RedConfig config_;
+  double avg_ = 0.0;
+  std::int64_t count_ = -1;  // packets since last early drop
+  std::uint64_t early_drops_ = 0;
+};
+
+}  // namespace phantom::tcp

@@ -1,0 +1,74 @@
+// TCP Reno and Tahoe senders, after the pseudo-code in [Ste94] §21 as
+// the paper specifies: slow start, congestion avoidance, fast
+// retransmit; Reno adds fast recovery, Tahoe restarts in slow start.
+//
+// Paper-specific extensions (inherited from TcpSender, off-path for
+// plain operation): CR stamping (§4.3), EFCI-suppressed window growth
+// (Fig. 11), rate-damped Source Quench reaction (Fig. 9).
+#pragma once
+
+#include "tcp/tcp_sender.h"
+
+namespace phantom::tcp {
+
+/// Greedy Reno sender.
+class RenoSource final : public TcpSender {
+ public:
+  RenoSource(sim::Simulator& sim, int flow, RenoConfig config, Emitter emit)
+      : TcpSender{sim, flow, config, std::move(emit)} {}
+
+  [[nodiscard]] std::string name() const override { return "reno"; }
+
+ private:
+  void on_ack_growth(bool efci_suppressed) override {
+    if (efci_suppressed) return;
+    if (cwnd_bytes() < static_cast<double>(ssthresh_bytes())) {
+      set_cwnd(cwnd_bytes() + mss());  // slow start: exponential per RTT
+    } else {
+      set_cwnd(cwnd_bytes() + mss() * mss() / cwnd_bytes());  // cong. avoid
+    }
+  }
+
+  bool on_fast_retransmit() override {
+    // Fast recovery [Ste94 §21.7]: half the flight plus the three
+    // segments the dup ACKs signalled have left the network.
+    set_ssthresh(half_flight());
+    set_cwnd(static_cast<double>(ssthresh_bytes()) + 3 * mss());
+    return true;  // enter fast recovery
+  }
+
+  void on_recovery_exit() override {
+    set_cwnd(static_cast<double>(ssthresh_bytes()));  // deflate
+  }
+};
+
+/// Greedy Tahoe sender: like Reno but without fast recovery — after the
+/// fast retransmit the window restarts from one segment in slow start
+/// (the pre-1990 BSD behaviour, kept as a baseline ablation).
+class TahoeSource final : public TcpSender {
+ public:
+  TahoeSource(sim::Simulator& sim, int flow, RenoConfig config, Emitter emit)
+      : TcpSender{sim, flow, config, std::move(emit)} {}
+
+  [[nodiscard]] std::string name() const override { return "tahoe"; }
+
+ private:
+  void on_ack_growth(bool efci_suppressed) override {
+    if (efci_suppressed) return;
+    if (cwnd_bytes() < static_cast<double>(ssthresh_bytes())) {
+      set_cwnd(cwnd_bytes() + mss());
+    } else {
+      set_cwnd(cwnd_bytes() + mss() * mss() / cwnd_bytes());
+    }
+  }
+
+  bool on_fast_retransmit() override {
+    set_ssthresh(half_flight());
+    set_cwnd(mss());  // back to slow start
+    return false;     // no fast recovery
+  }
+
+  void on_recovery_exit() override {}  // never entered
+};
+
+}  // namespace phantom::tcp

@@ -1,0 +1,105 @@
+#include "tcp/tcp_sink.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace phantom::tcp {
+
+TcpSink::TcpSink(sim::Simulator& sim, int flow, Emitter emit_ack,
+                 TcpSinkOptions options)
+    : sim_{&sim},
+      flow_{flow},
+      emit_ack_{std::move(emit_ack)},
+      options_{options} {
+  if (!emit_ack_) throw std::invalid_argument{"TcpSink needs an emitter"};
+}
+
+void TcpSink::receive_packet(Packet packet) {
+  if (packet.kind != PacketKind::kData || packet.flow != flow_) return;
+  const std::int64_t start = packet.seq;
+  const std::int64_t end = packet.seq + packet.payload;
+
+  bool in_order = false;
+  if (end <= rcv_nxt_) {
+    ++dups_;  // fully duplicate segment
+  } else if (start <= rcv_nxt_) {
+    in_order = true;
+    rcv_nxt_ = end;
+    // Pull any previously buffered ranges that are now contiguous.
+    auto it = pending_.begin();
+    while (it != pending_.end() && it->first <= rcv_nxt_) {
+      rcv_nxt_ = std::max(rcv_nxt_, it->second);
+      it = pending_.erase(it);
+    }
+  } else {
+    ++ooo_;
+    buffer_segment(start, end);
+  }
+
+  if (options_.delayed_acks && in_order && pending_.empty()) {
+    if (ack_pending_) {
+      // Second in-order segment: one ACK now covers both.
+      ack_pending_ = false;
+      if (delayed_timer_.valid()) {
+        sim_->cancel(delayed_timer_);
+        delayed_timer_ = {};
+      }
+      emit_cumulative_ack(packet);
+    } else {
+      ack_pending_ = true;
+      pending_trigger_ = packet;
+      delayed_timer_ = sim_->schedule(options_.delayed_ack_timeout,
+                                      [this] { flush_delayed_ack(); });
+    }
+    return;
+  }
+  // Immediate ACK: plain mode, or a duplicate / out-of-order segment
+  // (which must generate prompt duplicate ACKs). A pending delayed ACK
+  // is superseded — the cumulative ACK emitted here covers it.
+  if (ack_pending_) {
+    ack_pending_ = false;
+    if (delayed_timer_.valid()) {
+      sim_->cancel(delayed_timer_);
+      delayed_timer_ = {};
+    }
+  }
+  emit_cumulative_ack(packet);
+}
+
+void TcpSink::emit_cumulative_ack(const Packet& trigger) {
+  Packet ack = Packet::make_ack(flow_, rcv_nxt_);
+  ack.timestamp = trigger.timestamp;
+  ack.ack_efci = trigger.efci;
+  ++acks_;
+  emit_ack_(ack);
+}
+
+void TcpSink::flush_delayed_ack() {
+  if (!ack_pending_) return;
+  ack_pending_ = false;
+  if (delayed_timer_.valid()) {
+    sim_->cancel(delayed_timer_);
+    delayed_timer_ = {};
+  }
+  emit_cumulative_ack(pending_trigger_);
+}
+
+void TcpSink::buffer_segment(std::int64_t start, std::int64_t end) {
+  // Merge [start, end) into the pending set.
+  auto it = pending_.lower_bound(start);
+  if (it != pending_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      start = prev->first;
+      end = std::max(end, prev->second);
+      it = pending_.erase(prev);
+    }
+  }
+  while (it != pending_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = pending_.erase(it);
+  }
+  pending_.emplace(start, end);
+}
+
+}  // namespace phantom::tcp

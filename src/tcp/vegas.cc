@@ -1,0 +1,43 @@
+#include "tcp/vegas.h"
+
+namespace phantom::tcp {
+
+void VegasSource::on_ack_growth(bool efci_suppressed) {
+  if (efci_suppressed) return;
+
+  // Window adjustments happen once per RTT epoch: when the cumulative
+  // ACK passes the sequence frontier recorded at the epoch's start.
+  if (bytes_acked() < rtt_mark_) return;
+  rtt_mark_ = snd_nxt();
+
+  if (base_rtt_.is_zero() || last_rtt_.is_zero()) {
+    // No clean measurement yet: conventional slow start.
+    set_cwnd(cwnd_bytes() + mss());
+    return;
+  }
+
+  diff_bytes_ = cwnd_bytes() * (1.0 - base_rtt_ / last_rtt_);
+
+  if (cwnd_bytes() < static_cast<double>(ssthresh_bytes())) {
+    // Slow start: leave it as soon as the queue estimate exceeds gamma;
+    // otherwise double only every other RTT so the estimate has a
+    // congestion-free RTT to settle [BP95].
+    if (diff_bytes_ > vegas_.gamma_segments * mss()) {
+      set_ssthresh(static_cast<std::int64_t>(cwnd_bytes()));
+      set_cwnd(cwnd_bytes() - (diff_bytes_ - vegas_.gamma_segments * mss()));
+      return;
+    }
+    grow_this_epoch_ = !grow_this_epoch_;
+    if (grow_this_epoch_) set_cwnd(cwnd_bytes() * 2.0);
+    return;
+  }
+
+  // Congestion avoidance: keep alpha..beta segments queued.
+  if (diff_bytes_ < vegas_.alpha_segments * mss()) {
+    set_cwnd(cwnd_bytes() + mss());
+  } else if (diff_bytes_ > vegas_.beta_segments * mss()) {
+    set_cwnd(cwnd_bytes() - mss());
+  }
+}
+
+}  // namespace phantom::tcp

@@ -1,0 +1,232 @@
+#include "topo/abr_network.h"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "atm/link.h"
+
+namespace phantom::topo {
+
+using atm::Link;
+
+AbrNetwork::AbrNetwork(sim::Simulator& sim, ControllerFactory factory)
+    : sim_{&sim}, factory_{std::move(factory)} {
+  if (!factory_) {
+    throw std::invalid_argument{"AbrNetwork requires a controller factory"};
+  }
+}
+
+AbrNetwork::SwitchId AbrNetwork::add_switch(std::string name) {
+  switches_.push_back(std::make_unique<atm::Switch>(*sim_, std::move(name)));
+  return switches_.size() - 1;
+}
+
+std::size_t AbrNetwork::add_port(SwitchId at, atm::CellSink& sink,
+                                 sim::Rate rate, sim::Time delay,
+                                 std::size_t queue_limit, bool controlled,
+                                 double loss,
+                                 atm::QueueDiscipline discipline) {
+  auto controller = controlled
+                        ? factory_(*sim_, rate)
+                        : std::unique_ptr<atm::PortController>{};
+  return switches_.at(at)->add_port(rate, queue_limit,
+                                    Link{*sim_, delay, sink, loss},
+                                    std::move(controller), discipline);
+}
+
+AbrNetwork::TrunkId AbrNetwork::add_trunk(SwitchId from, SwitchId to,
+                                          TrunkOptions options) {
+  if (from >= switches_.size() || to >= switches_.size() || from == to) {
+    throw std::out_of_range{"add_trunk: bad switch ids"};
+  }
+  Trunk t;
+  t.from = from;
+  t.to = to;
+  t.controlled = options.controlled;
+  t.rate = options.rate;
+  t.forward_port = add_port(from, *switches_[to], options.rate, options.delay,
+                            options.queue_limit, options.controlled,
+                            options.loss, options.discipline);
+  // Reverse direction carries only returning RM cells; never controlled,
+  // but it shares the physical medium's loss rate.
+  t.reverse_port = add_port(to, *switches_[from], options.rate, options.delay,
+                            options.queue_limit, /*controlled=*/false,
+                            options.loss);
+  trunks_.push_back(t);
+  return trunks_.size() - 1;
+}
+
+AbrNetwork::DestId AbrNetwork::add_destination(SwitchId at,
+                                               TrunkOptions options) {
+  if (at >= switches_.size()) {
+    throw std::out_of_range{"add_destination: bad switch id"};
+  }
+  Destination d;
+  d.at = at;
+  d.controlled = options.controlled;
+  d.rate = options.rate;
+  d.endpoint = std::make_unique<atm::AbrDestination>(
+      *sim_, Link{*sim_, options.delay, *switches_[at]});
+  d.port = add_port(at, *d.endpoint, options.rate, options.delay,
+                    options.queue_limit, options.controlled, options.loss,
+                    options.discipline);
+  dests_.push_back(std::move(d));
+  return dests_.size() - 1;
+}
+
+void AbrNetwork::validate_path(SwitchId ingress,
+                               const std::vector<TrunkId>& path,
+                               DestId dest) const {
+  if (ingress >= switches_.size()) {
+    throw std::out_of_range{"add_session: bad ingress switch"};
+  }
+  if (dest >= dests_.size()) {
+    throw std::out_of_range{"add_session: bad destination"};
+  }
+  // Path connectivity: head at ingress, tail at the destination's switch.
+  SwitchId cursor = ingress;
+  for (const TrunkId t : path) {
+    if (t >= trunks_.size() || trunks_[t].from != cursor) {
+      throw std::invalid_argument{"add_session: path is not connected"};
+    }
+    cursor = trunks_[t].to;
+  }
+  if (dests_[dest].at != cursor) {
+    throw std::invalid_argument{
+        "add_session: destination does not hang off the path's last switch"};
+  }
+}
+
+AbrNetwork::SessionId AbrNetwork::add_session(SwitchId ingress,
+                                              const std::vector<TrunkId>& path,
+                                              DestId dest,
+                                              atm::AbrParams params,
+                                              sim::Time access_delay) {
+  validate_path(ingress, path, dest);
+  const int vc = next_vc_++;
+  auto source = std::make_unique<atm::AbrSource>(
+      *sim_, vc, params, Link{*sim_, access_delay, *switches_[ingress]});
+
+  // Backward port at the ingress switch delivering BRM cells to the
+  // source. One per session keeps the wiring simple; its load is only
+  // RM cells.
+  const std::size_t to_source_port =
+      add_port(ingress, *source, params.pcr, access_delay,
+               /*queue_limit=*/20'000, /*controlled=*/false, 0.0);
+
+  // Forward/backward routes hop by hop. At each switch the backward
+  // port leads one hop back toward the source.
+  std::size_t backward = to_source_port;
+  SwitchId cursor = ingress;
+  for (const TrunkId t : path) {
+    switches_[cursor]->route_vc(vc, trunks_[t].forward_port, backward);
+    backward = trunks_[t].reverse_port;
+    cursor = trunks_[t].to;
+  }
+  switches_[cursor]->route_vc(vc, dests_[dest].port, backward);
+
+  sources_.push_back(std::move(source));
+  sessions_.push_back(Session{ingress, path, dest, vc});
+  session_demand_bps_.push_back(std::numeric_limits<double>::infinity());
+  return sources_.size() - 1;
+}
+
+void AbrNetwork::set_session_demand(SessionId s, sim::Rate demand) {
+  sources_.at(s)->set_demand(demand);
+  session_demand_bps_.at(s) = demand.bits_per_sec();
+}
+
+std::size_t AbrNetwork::add_cbr_session(SwitchId ingress,
+                                        const std::vector<TrunkId>& path,
+                                        DestId dest, sim::Rate rate,
+                                        sim::Time access_delay) {
+  validate_path(ingress, path, dest);
+  const int vc = next_vc_++;
+  cbr_sources_.push_back(std::make_unique<atm::CbrSource>(
+      *sim_, vc, rate, Link{*sim_, access_delay, *switches_[ingress]}));
+  // CBR never generates RM cells, so the backward route is a formality;
+  // point it at the forward port.
+  SwitchId cursor = ingress;
+  for (const TrunkId t : path) {
+    switches_[cursor]->route_vc(vc, trunks_[t].forward_port,
+                                trunks_[t].forward_port);
+    cursor = trunks_[t].to;
+  }
+  switches_[cursor]->route_vc(vc, dests_[dest].port, dests_[dest].port);
+  cbr_sessions_.push_back(CbrSession{path, dest, rate});
+  return cbr_sources_.size() - 1;
+}
+
+void AbrNetwork::start_all(sim::Time first, sim::Time stagger) {
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    sources_[i]->start(first + stagger * static_cast<std::int64_t>(i));
+  }
+  for (const auto& cbr : cbr_sources_) cbr->start(first);
+}
+
+atm::OutputPort& AbrNetwork::trunk_port(TrunkId t) {
+  const Trunk& trunk = trunks_.at(t);
+  return switches_[trunk.from]->port(trunk.forward_port);
+}
+
+atm::OutputPort& AbrNetwork::dest_port(DestId d) {
+  const Destination& dest = dests_.at(d);
+  return switches_[dest.at]->port(dest.port);
+}
+
+std::uint64_t AbrNetwork::delivered_cells(SessionId s) const {
+  const Session& sess = sessions_.at(s);
+  return dests_[sess.dest].endpoint->data_cells_received(sess.vc);
+}
+
+std::vector<sim::Rate> AbrNetwork::reference_rates(bool phantom_per_link,
+                                                   double utilization) const {
+  stats::MaxMinSolver solver;
+  // Controlled trunks and controlled destination ports are the
+  // capacity-constrained links; everything else is overprovisioned
+  // plumbing.
+  // CBR background traffic is not rate-controlled: it simply removes
+  // capacity from every controlled link it crosses. The controllers
+  // steer toward u*C_raw - cbr, and the solver applies `utilization`
+  // to the capacities we hand it, so pre-divide the CBR load by u:
+  // u * (C_raw - cbr/u) = u*C_raw - cbr.
+  std::vector<double> trunk_cbr(trunks_.size(), 0.0);
+  std::vector<double> dest_cbr(dests_.size(), 0.0);
+  for (const CbrSession& cbr : cbr_sessions_) {
+    const double load = cbr.rate.bits_per_sec() / utilization;
+    for (const TrunkId t : cbr.path) trunk_cbr[t] += load;
+    dest_cbr[cbr.dest] += load;
+  }
+  std::vector<std::size_t> trunk_link(trunks_.size(), SIZE_MAX);
+  std::vector<std::size_t> dest_link(dests_.size(), SIZE_MAX);
+  for (std::size_t t = 0; t < trunks_.size(); ++t) {
+    if (trunks_[t].controlled) {
+      trunk_link[t] = solver.add_link(
+          sim::Rate::bps(trunks_[t].rate.bits_per_sec() - trunk_cbr[t]));
+    }
+  }
+  for (std::size_t d = 0; d < dests_.size(); ++d) {
+    if (dests_[d].controlled) {
+      dest_link[d] = solver.add_link(
+          sim::Rate::bps(dests_[d].rate.bits_per_sec() - dest_cbr[d]));
+    }
+  }
+  for (std::size_t s = 0; s < sessions_.size(); ++s) {
+    const Session& sess = sessions_[s];
+    std::vector<std::size_t> links;
+    for (const TrunkId t : sess.path) {
+      if (trunk_link[t] != SIZE_MAX) links.push_back(trunk_link[t]);
+    }
+    if (dest_link[sess.dest] != SIZE_MAX) links.push_back(dest_link[sess.dest]);
+    if (links.empty()) {
+      throw std::logic_error{
+          "reference_rates: a session crosses no controlled link"};
+    }
+    solver.add_session(std::move(links),
+                       sim::Rate::bps(session_demand_bps_[s]));
+  }
+  return solver.solve(phantom_per_link, utilization);
+}
+
+}  // namespace phantom::topo

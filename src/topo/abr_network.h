@@ -1,0 +1,182 @@
+// Declarative builder for ABR simulation topologies.
+//
+// Wires sources, switches, trunks and destinations into a running
+// network, handling the fiddly part — per-switch forward/backward VC
+// routing so backward RM cells retrace the session's path and collect
+// feedback from every controlled port they crossed going forward.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atm/abr_destination.h"
+#include "atm/cbr_source.h"
+#include "atm/abr_source.h"
+#include "atm/port_controller.h"
+#include "atm/switch.h"
+#include "sim/simulator.h"
+#include "stats/fairness.h"
+
+namespace phantom::topo {
+
+/// Builds a flow-control algorithm instance for a controlled port of the
+/// given capacity.
+using ControllerFactory = std::function<std::unique_ptr<atm::PortController>(
+    sim::Simulator&, sim::Rate)>;
+
+struct TrunkOptions {
+  sim::Rate rate = sim::Rate::mbps(150);
+  sim::Time delay = sim::Time::us(2);
+  std::size_t queue_limit = 20'000;
+  bool controlled = true;  ///< run the flow-control algorithm on this port
+  double loss = 0.0;       ///< random cell-loss probability (failure tests)
+  /// Strict priority serves CBR/VBR cells first (real switches protect
+  /// the guaranteed classes); FIFO mixes everything.
+  atm::QueueDiscipline discipline = atm::QueueDiscipline::kFifo;
+};
+
+/// An ABR network under construction / in operation.
+///
+/// Index types are plain size_t handles returned by the add_* calls.
+/// Typical use (single bottleneck, the paper's base configuration):
+///
+///     AbrNetwork net{sim, phantom_factory};
+///     auto sw = net.add_switch("sw");
+///     auto d = net.add_destination(sw, {.rate = Rate::mbps(150)});
+///     for (int i = 0; i < n; ++i) net.add_session(sw, {}, d, params);
+///     net.start_all(Time::zero(), Time::zero());
+///     sim.run_until(Time::ms(200));
+class AbrNetwork {
+ public:
+  using SwitchId = std::size_t;
+  using TrunkId = std::size_t;
+  using DestId = std::size_t;
+  using SessionId = std::size_t;
+
+  AbrNetwork(sim::Simulator& sim, ControllerFactory factory);
+
+  AbrNetwork(const AbrNetwork&) = delete;
+  AbrNetwork& operator=(const AbrNetwork&) = delete;
+
+  SwitchId add_switch(std::string name);
+
+  /// Duplex trunk between two switches: a forward port at `from`
+  /// (controlled per options) plus an uncontrolled reverse port at `to`
+  /// for returning RM cells.
+  TrunkId add_trunk(SwitchId from, SwitchId to, TrunkOptions options = {});
+
+  /// Destination endpoint hanging off `at`. The port feeding it is the
+  /// session's last hop; mark it controlled when it *is* the bottleneck
+  /// under study (single-link configs), uncontrolled when it is just an
+  /// exit stub (parking-lot locals).
+  DestId add_destination(SwitchId at, TrunkOptions options = {});
+
+  /// Session from a new source at `ingress`, across `path` (trunks must
+  /// be connected head-to-tail starting at `ingress`), terminating at
+  /// `dest` (which must hang off the last switch of the path).
+  /// `access_delay` applies to the source's access link both ways.
+  SessionId add_session(SwitchId ingress, const std::vector<TrunkId>& path,
+                        DestId dest, atm::AbrParams params = {},
+                        sim::Time access_delay = sim::Time::us(2));
+
+  /// Constant-bit-rate background stream along `path` to `dest`,
+  /// ignoring all feedback (models the guaranteed-traffic classes that
+  /// ABR yields to). Returns an index for cbr_source(). CBR streams are
+  /// excluded from reference_rates(); their rate is subtracted from the
+  /// capacity of every controlled link they cross.
+  std::size_t add_cbr_session(SwitchId ingress,
+                              const std::vector<TrunkId>& path, DestId dest,
+                              sim::Rate rate,
+                              sim::Time access_delay = sim::Time::us(2));
+
+  /// Starts ABR session i at `first + i * stagger`; CBR streams start
+  /// at `first`.
+  void start_all(sim::Time first, sim::Time stagger);
+
+  [[nodiscard]] atm::AbrSource& source(SessionId s) { return *sources_.at(s); }
+  [[nodiscard]] atm::CbrSource& cbr_source(std::size_t i) {
+    return *cbr_sources_.at(i);
+  }
+  [[nodiscard]] const atm::AbrSource& source(SessionId s) const {
+    return *sources_.at(s);
+  }
+  [[nodiscard]] atm::Switch& node(SwitchId s) { return *switches_.at(s); }
+  [[nodiscard]] atm::AbrDestination& destination(DestId d) {
+    return *dests_.at(d).endpoint;
+  }
+  /// The controlled output port of a trunk.
+  [[nodiscard]] atm::OutputPort& trunk_port(TrunkId t);
+  /// The output port feeding a destination.
+  [[nodiscard]] atm::OutputPort& dest_port(DestId d);
+
+  [[nodiscard]] std::size_t num_sessions() const { return sources_.size(); }
+
+  /// Data cells received so far for session `s` at its destination.
+  [[nodiscard]] std::uint64_t delivered_cells(SessionId s) const;
+
+  /// Ideal allocation for the current topology: max-min over the
+  /// *controlled* links, optionally with one phantom session per link
+  /// (the paper's predicted Phantom equilibrium), at utilization u.
+  [[nodiscard]] std::vector<sim::Rate> reference_rates(
+      bool phantom_per_link, double utilization) const;
+
+ private:
+  struct Trunk {
+    SwitchId from;
+    SwitchId to;
+    std::size_t forward_port;  // at `from`
+    std::size_t reverse_port;  // at `to`
+    bool controlled;
+    sim::Rate rate;
+  };
+  struct Destination {
+    SwitchId at;
+    std::size_t port;  // at `at`, feeding the endpoint
+    std::unique_ptr<atm::AbrDestination> endpoint;
+    bool controlled;
+    sim::Rate rate;
+  };
+  struct Session {
+    SwitchId ingress;
+    std::vector<TrunkId> path;
+    DestId dest;
+    int vc;
+  };
+
+ public:
+  /// Caps a session's demand (see AbrSource::set_demand) and records it
+  /// so reference_rates() computes the demand-constrained max-min
+  /// allocation.
+  void set_session_demand(SessionId s, sim::Rate demand);
+
+ private:
+  std::vector<double> session_demand_bps_;  // +inf = greedy
+  struct CbrSession {
+    std::vector<TrunkId> path;
+    DestId dest;
+    sim::Rate rate;
+  };
+
+  std::size_t add_port(SwitchId at, atm::CellSink& sink, sim::Rate rate,
+                       sim::Time delay, std::size_t queue_limit,
+                       bool controlled, double loss = 0.0,
+                       atm::QueueDiscipline discipline =
+                           atm::QueueDiscipline::kFifo);
+  void validate_path(SwitchId ingress, const std::vector<TrunkId>& path,
+                     DestId dest) const;
+
+  sim::Simulator* sim_;
+  ControllerFactory factory_;
+  std::vector<std::unique_ptr<atm::Switch>> switches_;
+  std::vector<Trunk> trunks_;
+  std::vector<Destination> dests_;
+  std::vector<std::unique_ptr<atm::AbrSource>> sources_;
+  std::vector<Session> sessions_;
+  std::vector<std::unique_ptr<atm::CbrSource>> cbr_sources_;
+  std::vector<CbrSession> cbr_sessions_;
+  int next_vc_ = 0;
+};
+
+}  // namespace phantom::topo

@@ -1,0 +1,50 @@
+// Workload shapers: drive sources through on/off and bursty patterns.
+#pragma once
+
+#include "atm/abr_source.h"
+#include "sim/simulator.h"
+
+namespace phantom::topo {
+
+/// Toggles an ABR source between active and idle. Periods are either
+/// fixed (deterministic square wave, like the paper's Fig. 4 on/off
+/// configuration) or exponentially distributed with the given means.
+class OnOffDriver {
+ public:
+  struct Options {
+    sim::Time on_period = sim::Time::ms(20);
+    sim::Time off_period = sim::Time::ms(20);
+    sim::Time first_toggle = sim::Time::ms(20);  ///< absolute time of first off
+    bool exponential = false;
+  };
+
+  /// The driver assumes the source is started (active) elsewhere; it
+  /// schedules the first *off* transition at `options.first_toggle`.
+  OnOffDriver(sim::Simulator& sim, atm::AbrSource& source, Options options)
+      : sim_{&sim}, source_{&source}, options_{options} {
+    sim_->schedule_at(options_.first_toggle, [this] { toggle(false); });
+  }
+
+  OnOffDriver(const OnOffDriver&) = delete;
+  OnOffDriver& operator=(const OnOffDriver&) = delete;
+
+  [[nodiscard]] std::uint64_t toggles() const { return toggles_; }
+
+ private:
+  void toggle(bool to_active) {
+    source_->set_active(to_active);
+    ++toggles_;
+    const sim::Time mean =
+        to_active ? options_.on_period : options_.off_period;
+    const sim::Time wait =
+        options_.exponential ? sim_->rng().exponential_time(mean) : mean;
+    sim_->schedule(wait, [this, to_active] { toggle(!to_active); });
+  }
+
+  sim::Simulator* sim_;
+  atm::AbrSource* source_;
+  Options options_;
+  std::uint64_t toggles_ = 0;
+};
+
+}  // namespace phantom::topo

@@ -1,0 +1,106 @@
+#include "atm/abr_destination.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace phantom::atm {
+namespace {
+
+using sim::Rate;
+using sim::Simulator;
+using sim::Time;
+
+class Collector final : public CellSink {
+ public:
+  void receive_cell(Cell cell) override { cells.push_back(cell); }
+  std::vector<Cell> cells;
+};
+
+struct DestFixture {
+  Simulator sim;
+  Collector reverse;
+  AbrDestination dest{sim, Link{sim, Time::zero(), reverse}};
+};
+
+TEST(AbrDestinationTest, TurnsFrmIntoBrm) {
+  DestFixture f;
+  f.dest.receive_cell(Cell::forward_rm(1, Rate::mbps(5), Rate::mbps(150)));
+  f.sim.run();
+  ASSERT_EQ(f.reverse.cells.size(), 1u);
+  const Cell& brm = f.reverse.cells[0];
+  EXPECT_EQ(brm.kind, CellKind::kBackwardRm);
+  EXPECT_EQ(brm.vc, 1);
+  EXPECT_DOUBLE_EQ(brm.ccr.mbits_per_sec(), 5.0);
+  EXPECT_DOUBLE_EQ(brm.er.mbits_per_sec(), 150.0);
+  EXPECT_FALSE(brm.ci);
+  EXPECT_EQ(f.dest.rm_cells_turned(), 1u);
+}
+
+TEST(AbrDestinationTest, CountsDataCellsPerVc) {
+  DestFixture f;
+  for (int i = 0; i < 3; ++i) f.dest.receive_cell(Cell::data(1));
+  f.dest.receive_cell(Cell::data(2));
+  EXPECT_EQ(f.dest.data_cells_received(1), 3u);
+  EXPECT_EQ(f.dest.data_cells_received(2), 1u);
+  EXPECT_EQ(f.dest.data_cells_received(9), 0u);
+  EXPECT_EQ(f.dest.total_data_cells(), 4u);
+}
+
+TEST(AbrDestinationTest, EfciLatchedIntoNextBrm) {
+  DestFixture f;
+  Cell marked = Cell::data(1);
+  marked.efci = true;
+  f.dest.receive_cell(marked);
+  f.dest.receive_cell(Cell::forward_rm(1, Rate::mbps(5), Rate::mbps(150)));
+  f.sim.run();
+  ASSERT_EQ(f.reverse.cells.size(), 1u);
+  EXPECT_TRUE(f.reverse.cells[0].ci);
+}
+
+TEST(AbrDestinationTest, EfciStateFollowsMostRecentDataCell) {
+  DestFixture f;
+  Cell marked = Cell::data(1);
+  marked.efci = true;
+  f.dest.receive_cell(marked);
+  f.dest.receive_cell(Cell::data(1));  // unmarked, clears the latch
+  f.dest.receive_cell(Cell::forward_rm(1, Rate::mbps(5), Rate::mbps(150)));
+  f.sim.run();
+  ASSERT_EQ(f.reverse.cells.size(), 1u);
+  EXPECT_FALSE(f.reverse.cells[0].ci);
+}
+
+TEST(AbrDestinationTest, EfciLatchIsPerVc) {
+  DestFixture f;
+  Cell marked = Cell::data(2);
+  marked.efci = true;
+  f.dest.receive_cell(marked);
+  f.dest.receive_cell(Cell::forward_rm(1, Rate::mbps(5), Rate::mbps(150)));
+  f.sim.run();
+  ASSERT_EQ(f.reverse.cells.size(), 1u);
+  EXPECT_FALSE(f.reverse.cells[0].ci);  // VC 1 never saw EFCI
+}
+
+TEST(AbrDestinationTest, PreexistingCiSurvivesTurnaround) {
+  DestFixture f;
+  Cell frm = Cell::forward_rm(1, Rate::mbps(5), Rate::mbps(150));
+  frm.ci = true;  // some upstream switch set CI on the forward pass
+  f.dest.receive_cell(frm);
+  f.sim.run();
+  ASSERT_EQ(f.reverse.cells.size(), 1u);
+  EXPECT_TRUE(f.reverse.cells[0].ci);
+}
+
+TEST(AbrDestinationTest, IgnoresStrayBackwardRm) {
+  DestFixture f;
+  Cell brm = Cell::forward_rm(1, Rate::mbps(5), Rate::mbps(150));
+  brm.kind = CellKind::kBackwardRm;
+  f.dest.receive_cell(brm);
+  f.sim.run();
+  EXPECT_TRUE(f.reverse.cells.empty());
+}
+
+}  // namespace
+}  // namespace phantom::atm

@@ -1,0 +1,40 @@
+#include "atm/cell.h"
+
+#include <gtest/gtest.h>
+
+namespace phantom::atm {
+namespace {
+
+TEST(CellTest, DataFactory) {
+  const Cell c = Cell::data(7);
+  EXPECT_EQ(c.kind, CellKind::kData);
+  EXPECT_EQ(c.vc, 7);
+  EXPECT_FALSE(c.is_rm());
+  EXPECT_FALSE(c.efci);
+  EXPECT_FALSE(c.ci);
+}
+
+TEST(CellTest, ForwardRmFactoryCarriesRates) {
+  const Cell c = Cell::forward_rm(3, sim::Rate::mbps(8.5), sim::Rate::mbps(150));
+  EXPECT_EQ(c.kind, CellKind::kForwardRm);
+  EXPECT_EQ(c.vc, 3);
+  EXPECT_TRUE(c.is_rm());
+  EXPECT_DOUBLE_EQ(c.ccr.mbits_per_sec(), 8.5);
+  EXPECT_DOUBLE_EQ(c.er.mbits_per_sec(), 150.0);
+  EXPECT_FALSE(c.ci);
+}
+
+TEST(CellTest, WireSizeConstants) {
+  EXPECT_EQ(kCellBits, 424);
+  EXPECT_EQ(kCellBytes, 53);
+  EXPECT_EQ(kCellBits, kCellBytes * 8);
+}
+
+TEST(CellTest, KindNames) {
+  EXPECT_EQ(to_string(CellKind::kData), "data");
+  EXPECT_EQ(to_string(CellKind::kForwardRm), "FRM");
+  EXPECT_EQ(to_string(CellKind::kBackwardRm), "BRM");
+}
+
+}  // namespace
+}  // namespace phantom::atm

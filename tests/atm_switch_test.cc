@@ -1,0 +1,134 @@
+#include "atm/switch.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace phantom::atm {
+namespace {
+
+using sim::Rate;
+using sim::Simulator;
+using sim::Time;
+
+class Collector final : public CellSink {
+ public:
+  void receive_cell(Cell cell) override { cells.push_back(cell); }
+  std::vector<Cell> cells;
+};
+
+/// Controller that stamps feedback so tests can see who processed a BRM.
+class StampController final : public PortController {
+ public:
+  explicit StampController(Rate share) : share_{share} {}
+  void on_forward_rm(Cell&, std::size_t) override { ++frm_seen; }
+  void on_backward_rm(Cell& cell, std::size_t) override {
+    ++brm_seen;
+    cell.er = std::min(cell.er, share_);
+  }
+  [[nodiscard]] Rate fair_share() const override { return share_; }
+  [[nodiscard]] std::string name() const override { return "stamp"; }
+  int frm_seen = 0, brm_seen = 0;
+
+ private:
+  Rate share_;
+};
+
+struct SwitchFixture {
+  Simulator sim;
+  Collector fwd_sink;   // after the forward port
+  Collector bwd_sink;   // after the backward port
+  Switch sw{sim, "sw0"};
+  StampController* fwd_ctl = nullptr;
+
+  SwitchFixture() {
+    auto ctl = std::make_unique<StampController>(Rate::mbps(10));
+    fwd_ctl = ctl.get();
+    const auto fwd = sw.add_port(Rate::mbps(150), 100,
+                                 Link{sim, Time::zero(), fwd_sink}, std::move(ctl));
+    const auto bwd = sw.add_port(Rate::mbps(150), 100,
+                                 Link{sim, Time::zero(), bwd_sink}, nullptr);
+    sw.route_vc(1, fwd, bwd);
+  }
+};
+
+TEST(SwitchTest, ForwardsDataCellsToForwardPort) {
+  SwitchFixture f;
+  f.sw.receive_cell(Cell::data(1));
+  f.sim.run();
+  EXPECT_EQ(f.fwd_sink.cells.size(), 1u);
+  EXPECT_TRUE(f.bwd_sink.cells.empty());
+}
+
+TEST(SwitchTest, ForwardRmPassesControllerThenForwardPort) {
+  SwitchFixture f;
+  f.sw.receive_cell(Cell::forward_rm(1, Rate::mbps(5), Rate::mbps(150)));
+  f.sim.run();
+  EXPECT_EQ(f.fwd_ctl->frm_seen, 1);
+  ASSERT_EQ(f.fwd_sink.cells.size(), 1u);
+  EXPECT_EQ(f.fwd_sink.cells[0].kind, CellKind::kForwardRm);
+}
+
+TEST(SwitchTest, BackwardRmGetsForwardPortFeedbackAndBackwardRoute) {
+  SwitchFixture f;
+  Cell brm = Cell::forward_rm(1, Rate::mbps(5), Rate::mbps(150));
+  brm.kind = CellKind::kBackwardRm;
+  f.sw.receive_cell(brm);
+  f.sim.run();
+  EXPECT_EQ(f.fwd_ctl->brm_seen, 1);
+  ASSERT_EQ(f.bwd_sink.cells.size(), 1u);
+  // The forward port's controller clamped ER to its 10 Mb/s share.
+  EXPECT_DOUBLE_EQ(f.bwd_sink.cells[0].er.mbits_per_sec(), 10.0);
+  EXPECT_TRUE(f.fwd_sink.cells.empty());
+}
+
+TEST(SwitchTest, ErOnlyEverDecreases) {
+  SwitchFixture f;
+  Cell brm = Cell::forward_rm(1, Rate::mbps(5), Rate::mbps(2));
+  brm.kind = CellKind::kBackwardRm;
+  f.sw.receive_cell(brm);  // controller share 10 Mb/s > ER 2 Mb/s
+  f.sim.run();
+  ASSERT_EQ(f.bwd_sink.cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(f.bwd_sink.cells[0].er.mbits_per_sec(), 2.0);
+}
+
+TEST(SwitchTest, UnroutedCellsAreCountedNotCrashed) {
+  SwitchFixture f;
+  f.sw.receive_cell(Cell::data(99));
+  f.sim.run();
+  EXPECT_EQ(f.sw.unrouted_cells(), 1u);
+  EXPECT_TRUE(f.fwd_sink.cells.empty());
+}
+
+TEST(SwitchTest, RejectsDuplicateRoute) {
+  SwitchFixture f;
+  EXPECT_THROW(f.sw.route_vc(1, 0, 1), std::invalid_argument);
+}
+
+TEST(SwitchTest, RejectsBadPortIndex) {
+  SwitchFixture f;
+  EXPECT_THROW(f.sw.route_vc(2, 5, 1), std::out_of_range);
+  EXPECT_THROW(f.sw.route_vc(2, 0, 5), std::out_of_range);
+}
+
+TEST(SwitchTest, MultipleVcsShareAPort) {
+  SwitchFixture f;
+  f.sw.route_vc(2, 0, 1);
+  f.sw.receive_cell(Cell::data(1));
+  f.sw.receive_cell(Cell::data(2));
+  f.sim.run();
+  EXPECT_EQ(f.fwd_sink.cells.size(), 2u);
+}
+
+TEST(SwitchTest, PortAccessors) {
+  SwitchFixture f;
+  EXPECT_EQ(f.sw.num_ports(), 2u);
+  EXPECT_EQ(f.sw.name(), "sw0");
+  EXPECT_EQ(f.sw.port(0).controller().name(), "stamp");
+  EXPECT_EQ(f.sw.port(1).controller().name(), "null");
+}
+
+}  // namespace
+}  // namespace phantom::atm

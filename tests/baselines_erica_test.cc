@@ -1,0 +1,136 @@
+// ERICA — the per-VC ("unbounded space") comparator class.
+#include "baselines/erica.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/factories.h"
+#include "exp/probes.h"
+#include "sim/simulator.h"
+#include "stats/fairness.h"
+#include "topo/abr_network.h"
+
+namespace phantom::baselines {
+namespace {
+
+using atm::Cell;
+using atm::CellKind;
+using sim::Rate;
+using sim::Simulator;
+using sim::Time;
+
+Cell frm(int vc, double ccr_mbps) {
+  return Cell::forward_rm(vc, Rate::mbps(ccr_mbps), Rate::mbps(150));
+}
+
+Cell brm(int vc, double er_mbps = 150.0) {
+  Cell c = Cell::forward_rm(vc, Rate::zero(), Rate::mbps(er_mbps));
+  c.kind = CellKind::kBackwardRm;
+  return c;
+}
+
+TEST(EricaTest, TracksOneStatePerVc) {
+  Simulator sim;
+  EricaController ctl{sim, Rate::mbps(150)};
+  EXPECT_EQ(ctl.tracked_vcs(), 0u);
+  Cell a = frm(1, 10), b = frm(2, 10), c = frm(3, 10);
+  ctl.on_forward_rm(a, 0);
+  ctl.on_forward_rm(b, 0);
+  ctl.on_forward_rm(c, 0);
+  ctl.on_forward_rm(a, 0);  // same VC again
+  EXPECT_EQ(ctl.tracked_vcs(), 3u);  // O(connections) by design
+}
+
+TEST(EricaTest, FairShareIsTargetOverActiveVcs) {
+  Simulator sim;
+  EricaController ctl{sim, Rate::mbps(150)};
+  for (int vc = 0; vc < 3; ++vc) {
+    Cell f = frm(vc, 10);
+    ctl.on_forward_rm(f, 0);
+  }
+  sim.run_until(Time::ms(1));  // one interval
+  EXPECT_NEAR(ctl.fair_share().mbits_per_sec(), 0.95 * 150 / 3, 1e-9);
+}
+
+TEST(EricaTest, IdleVcsExpireAndReleaseShare) {
+  Simulator sim;
+  EricaConfig cfg;
+  cfg.activity_timeout_intervals = 3;
+  EricaController ctl{sim, Rate::mbps(150), cfg};
+  Cell f1 = frm(1, 10), f2 = frm(2, 10);
+  ctl.on_forward_rm(f1, 0);
+  ctl.on_forward_rm(f2, 0);
+  sim.run_until(Time::ms(1));
+  EXPECT_EQ(ctl.tracked_vcs(), 2u);
+  // VC 2 goes silent; VC 1 keeps refreshing.
+  for (int i = 0; i < 6; ++i) {
+    ctl.on_forward_rm(f1, 0);
+    sim.run_until(Time::ms(2 + i));
+  }
+  EXPECT_EQ(ctl.tracked_vcs(), 1u);
+  EXPECT_NEAR(ctl.fair_share().mbits_per_sec(), 0.95 * 150, 1e-9);
+}
+
+TEST(EricaTest, BrmClampedToComputedEr) {
+  Simulator sim;
+  EricaController ctl{sim, Rate::mbps(150)};
+  Cell f1 = frm(1, 10), f2 = frm(2, 10);
+  ctl.on_forward_rm(f1, 0);
+  ctl.on_forward_rm(f2, 0);
+  sim.run_until(Time::ms(1));  // fair share = 71.25, load tiny
+  Cell b = brm(1);
+  ctl.on_backward_rm(b, 0);
+  // ER limited to at most the target rate, at least the fair share.
+  EXPECT_LE(b.er.mbits_per_sec(), 0.95 * 150 + 1e-9);
+  EXPECT_GE(b.er.mbits_per_sec(), 0.95 * 150 / 2 - 1e-9);
+}
+
+TEST(EricaTest, ConfigValidation) {
+  Simulator sim;
+  EricaConfig bad;
+  bad.utilization = 0;
+  EXPECT_THROW((EricaController{sim, Rate::mbps(150), bad}),
+               std::invalid_argument);
+  bad = {};
+  bad.activity_timeout_intervals = 0;
+  EXPECT_THROW((EricaController{sim, Rate::mbps(150), bad}),
+               std::invalid_argument);
+}
+
+TEST(EricaIntegrationTest, ExactFairShareWithoutPhantomPenalty) {
+  // The pay-off of per-VC state: n sessions get u*C/n (not /(n+1)).
+  Simulator sim;
+  topo::AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kErica)};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw, {});
+  for (int i = 0; i < 3; ++i) net.add_session(sw, {}, dest);
+  exp::GoodputProbe probe{sim, net};
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(300));
+  probe.mark();
+  sim.run_until(Time::ms(500));
+  const auto rates = probe.rates_mbps();
+  for (const double r : rates) EXPECT_NEAR(r, 0.95 * 150 / 3, 4.0);
+  EXPECT_GT(stats::jain_index(rates), 0.995);
+}
+
+TEST(EricaIntegrationTest, MoreThroughputThanPhantomAtSmallN) {
+  // Phantom cedes one share to the imaginary session; ERICA does not.
+  auto total = [](exp::Algorithm alg) {
+    Simulator sim;
+    topo::AbrNetwork net{sim, exp::make_factory(alg)};
+    const auto sw = net.add_switch("sw");
+    const auto dest = net.add_destination(sw, {});
+    for (int i = 0; i < 2; ++i) net.add_session(sw, {}, dest);
+    exp::GoodputProbe probe{sim, net};
+    net.start_all(Time::zero(), Time::zero());
+    sim.run_until(Time::ms(300));
+    probe.mark();
+    sim.run_until(Time::ms(500));
+    return probe.total_mbps();
+  };
+  EXPECT_GT(total(exp::Algorithm::kErica),
+            1.2 * total(exp::Algorithm::kPhantom));
+}
+
+}  // namespace
+}  // namespace phantom::baselines

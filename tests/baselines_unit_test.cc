@@ -1,0 +1,269 @@
+// Unit tests of the three ATM Forum baseline controllers (§5).
+#include <gtest/gtest.h>
+
+#include "baselines/aprc.h"
+#include "baselines/capc.h"
+#include "baselines/eprca.h"
+#include "sim/simulator.h"
+
+namespace phantom::baselines {
+namespace {
+
+using atm::Cell;
+using atm::CellKind;
+using sim::Rate;
+using sim::Simulator;
+using sim::Time;
+
+Cell frm(double ccr_mbps) {
+  return Cell::forward_rm(1, Rate::mbps(ccr_mbps), Rate::mbps(150));
+}
+
+Cell brm(double ccr_mbps, double er_mbps = 150.0) {
+  Cell c = Cell::forward_rm(1, Rate::mbps(ccr_mbps), Rate::mbps(er_mbps));
+  c.kind = CellKind::kBackwardRm;
+  return c;
+}
+
+// ---------------------------------------------------------------- EPRCA
+
+TEST(EprcaTest, MacrIsExponentialAverageOfCcr) {
+  Simulator sim;
+  EprcaController ctl{sim, Rate::mbps(150)};
+  Cell f = frm(40.0);
+  ctl.on_forward_rm(f, 0);
+  // 8.5 + (40 - 8.5)/16 = 10.46875
+  EXPECT_NEAR(ctl.fair_share().mbits_per_sec(), 10.46875, 1e-9);
+  for (int i = 0; i < 500; ++i) ctl.on_forward_rm(f, 0);
+  EXPECT_NEAR(ctl.fair_share().mbits_per_sec(), 40.0, 0.01);
+}
+
+TEST(EprcaTest, UncongestedBrmUntouched) {
+  Simulator sim;
+  EprcaController ctl{sim, Rate::mbps(150)};
+  Cell b = brm(100.0);
+  ctl.on_backward_rm(b, /*queue=*/50);  // below QT=100
+  EXPECT_DOUBLE_EQ(b.er.mbits_per_sec(), 150.0);
+  EXPECT_FALSE(b.ci);
+}
+
+TEST(EprcaTest, CongestedReducesOnlyFastSessions) {
+  Simulator sim;
+  EprcaController ctl{sim, Rate::mbps(150)};  // MACR = 8.5
+  Cell fast = brm(100.0);
+  ctl.on_backward_rm(fast, /*queue=*/200);  // QT < 200 < DQT
+  EXPECT_NEAR(fast.er.mbits_per_sec(), 8.5 * 15.0 / 16, 1e-9);
+  EXPECT_FALSE(fast.ci);
+  Cell slow = brm(5.0);  // below DPF * MACR
+  ctl.on_backward_rm(slow, 200);
+  EXPECT_DOUBLE_EQ(slow.er.mbits_per_sec(), 150.0);
+}
+
+TEST(EprcaTest, VeryCongestedBeatsDownEveryone) {
+  Simulator sim;
+  EprcaController ctl{sim, Rate::mbps(150)};
+  Cell slow = brm(0.1);  // far below MACR, still hit
+  ctl.on_backward_rm(slow, /*queue=*/600);
+  EXPECT_NEAR(slow.er.mbits_per_sec(), 8.5 / 4, 1e-9);
+  EXPECT_TRUE(slow.ci);
+}
+
+TEST(EprcaTest, ErNeverIncreased) {
+  Simulator sim;
+  EprcaController ctl{sim, Rate::mbps(150)};
+  Cell b = brm(100.0, /*er=*/1.0);
+  ctl.on_backward_rm(b, 600);
+  EXPECT_DOUBLE_EQ(b.er.mbits_per_sec(), 1.0);
+}
+
+TEST(EprcaTest, ConfigValidation) {
+  Simulator sim;
+  EprcaConfig bad;
+  bad.very_congested_threshold = 50;  // below QT
+  EXPECT_THROW((EprcaController{sim, Rate::mbps(150), bad}),
+               std::invalid_argument);
+  bad = {};
+  bad.averaging = 0.0;
+  EXPECT_THROW((EprcaController{sim, Rate::mbps(150), bad}),
+               std::invalid_argument);
+}
+
+TEST(EprcaTest, MacrClampedToLinkRate) {
+  Simulator sim;
+  EprcaController ctl{sim, Rate::mbps(150)};
+  Cell f = frm(1000.0);
+  for (int i = 0; i < 200; ++i) ctl.on_forward_rm(f, 0);
+  EXPECT_LE(ctl.fair_share().mbits_per_sec(), 150.0 + 1e-9);
+}
+
+// ----------------------------------------------------------------- APRC
+
+TEST(AprcTest, CongestionFollowsQueueGrowth) {
+  Simulator sim;
+  AprcController ctl{sim, Rate::mbps(150)};
+  EXPECT_FALSE(ctl.congested());
+  // Queue grows between two ticks.
+  ctl.on_cell_accepted(Cell::data(1), 10);
+  sim.run_until(Time::ms(1));
+  EXPECT_TRUE(ctl.congested());
+  // Queue static: not congested.
+  sim.run_until(Time::ms(2));
+  EXPECT_FALSE(ctl.congested());
+  // Queue shrinks: not congested.
+  ctl.on_cell_accepted(Cell::data(1), 5);
+  sim.run_until(Time::ms(3));
+  EXPECT_FALSE(ctl.congested());
+}
+
+TEST(AprcTest, CongestedReducesFastSessionsEvenWithShortQueue) {
+  // The "intelligent" part: a short but *growing* queue is congestion.
+  Simulator sim;
+  AprcController ctl{sim, Rate::mbps(150)};
+  ctl.on_cell_accepted(Cell::data(1), 8);  // tiny queue, but growing
+  sim.run_until(Time::ms(1));
+  ASSERT_TRUE(ctl.congested());
+  Cell fast = brm(100.0);
+  ctl.on_backward_rm(fast, /*queue=*/8);
+  EXPECT_NEAR(fast.er.mbits_per_sec(), 8.5 * 15.0 / 16, 1e-9);
+}
+
+TEST(AprcTest, VeryCongestedUsesLengthThreshold) {
+  Simulator sim;
+  AprcController ctl{sim, Rate::mbps(150)};
+  Cell b = brm(0.1);
+  ctl.on_backward_rm(b, /*queue=*/301);  // > 300 cells [ST94]
+  EXPECT_TRUE(b.ci);
+  EXPECT_NEAR(b.er.mbits_per_sec(), 8.5 / 4, 1e-9);
+}
+
+TEST(AprcTest, NotCongestedLeavesBrmAlone) {
+  Simulator sim;
+  AprcController ctl{sim, Rate::mbps(150)};
+  Cell b = brm(100.0);
+  ctl.on_backward_rm(b, 50);
+  EXPECT_DOUBLE_EQ(b.er.mbits_per_sec(), 150.0);
+  EXPECT_FALSE(b.ci);
+}
+
+TEST(AprcTest, MacrAveragesCcrLikeEprca) {
+  Simulator sim;
+  AprcController ctl{sim, Rate::mbps(150)};
+  Cell f = frm(40.0);
+  for (int i = 0; i < 500; ++i) ctl.on_forward_rm(f, 0);
+  EXPECT_NEAR(ctl.fair_share().mbits_per_sec(), 40.0, 0.01);
+}
+
+TEST(AprcTest, ConfigValidation) {
+  Simulator sim;
+  AprcConfig bad;
+  bad.growth_interval = Time::zero();
+  EXPECT_THROW((AprcController{sim, Rate::mbps(150), bad}),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- CAPC
+
+TEST(CapcTest, IdleLinkGrowsErsMultiplicatively) {
+  Simulator sim;
+  CapcController ctl{sim, Rate::mbps(150)};
+  sim.run_until(Time::ms(1));  // one interval, z = 0
+  // growth factor min(ERU, 1 + 1*Rup) = 1.1
+  EXPECT_NEAR(ctl.fair_share().mbits_per_sec(), 8.5 * 1.1, 1e-6);
+  sim.run_until(Time::ms(2));
+  EXPECT_NEAR(ctl.fair_share().mbits_per_sec(), 8.5 * 1.21, 1e-6);
+}
+
+TEST(CapcTest, OverloadShrinksErs) {
+  Simulator sim;
+  CapcConfig cfg;
+  CapcController ctl{sim, Rate::mbps(150), cfg};
+  // Offer 2x the target: z = 2 -> factor max(ERF, 1 - 0.8) = 0.5.
+  const double target_cells =
+      0.9 * 150e6 / atm::kCellBits * 0.001;  // cells per interval at z=1
+  for (int i = 0; i < static_cast<int>(2 * target_cells); ++i) {
+    ctl.on_cell_accepted(Cell::data(1), 1);
+  }
+  sim.run_until(Time::ms(1));
+  EXPECT_NEAR(ctl.fair_share().mbits_per_sec(), 8.5 * 0.5, 0.1);
+}
+
+TEST(CapcTest, DroppedCellsCountTowardLoad) {
+  Simulator sim;
+  CapcController a{sim, Rate::mbps(150)};
+  CapcController b{sim, Rate::mbps(150)};
+  for (int i = 0; i < 400; ++i) a.on_cell_accepted(Cell::data(1), 1);
+  for (int i = 0; i < 200; ++i) {
+    b.on_cell_accepted(Cell::data(1), 1);
+    b.on_cell_dropped(Cell::data(1));
+  }
+  sim.run_until(Time::ms(1));
+  EXPECT_DOUBLE_EQ(a.fair_share().bits_per_sec(), b.fair_share().bits_per_sec());
+}
+
+TEST(CapcTest, BrmAlwaysClampedToErs) {
+  Simulator sim;
+  CapcController ctl{sim, Rate::mbps(150)};
+  Cell b = brm(100.0);
+  ctl.on_backward_rm(b, 0);
+  EXPECT_DOUBLE_EQ(b.er.mbits_per_sec(), 8.5);
+  EXPECT_FALSE(b.ci);
+}
+
+TEST(CapcTest, CiSetAboveQueueThreshold) {
+  Simulator sim;
+  CapcController ctl{sim, Rate::mbps(150)};
+  Cell b = brm(100.0);
+  ctl.on_backward_rm(b, 51);
+  EXPECT_TRUE(b.ci);
+}
+
+TEST(CapcTest, ErsStaysWithinBounds) {
+  Simulator sim;
+  CapcController ctl{sim, Rate::mbps(150)};
+  sim.run_until(Time::sec(1));  // idle forever: ERS must cap at u*C
+  EXPECT_NEAR(ctl.fair_share().mbits_per_sec(), 0.9 * 150, 1e-6);
+}
+
+TEST(CapcTest, ClosedLoopEquilibriumIsTargetOverN) {
+  // n sessions pinned at ERS: offered = n * ERS; fixed point z = 1 at
+  // ERS = u*C/n.
+  Simulator sim;
+  CapcController ctl{sim, Rate::mbps(150)};
+  const int n = 3;
+  std::function<void()> feed = [&] {
+    // Feed the controller the load it would see this interval.
+    const double cells = n * ctl.fair_share().bits_per_sec() * 0.001 /
+                         atm::kCellBits;
+    for (int i = 0; i < static_cast<int>(cells); ++i) {
+      ctl.on_cell_accepted(Cell::data(1), 1);
+    }
+    sim.schedule(Time::ms(1), feed);
+  };
+  sim.schedule(Time::zero(), feed);
+  sim.run_until(Time::sec(1));
+  EXPECT_NEAR(ctl.fair_share().mbits_per_sec(), 0.9 * 150 / n, 2.0);
+}
+
+TEST(CapcTest, ConfigValidation) {
+  Simulator sim;
+  CapcConfig bad;
+  bad.eru = 1.0;
+  EXPECT_THROW((CapcController{sim, Rate::mbps(150), bad}),
+               std::invalid_argument);
+  bad = {};
+  bad.utilization = 0.0;
+  EXPECT_THROW((CapcController{sim, Rate::mbps(150), bad}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- constant-space class
+
+TEST(BaselineSpaceTest, AllControllersAreConstantSpace) {
+  static_assert(sizeof(EprcaController) < 512);
+  static_assert(sizeof(AprcController) < 512);
+  static_assert(sizeof(CapcController) < 512);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace phantom::baselines

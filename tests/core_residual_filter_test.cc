@@ -1,0 +1,190 @@
+#include "core/residual_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace phantom::core {
+namespace {
+
+using sim::Rate;
+
+PhantomConfig base_config() {
+  PhantomConfig c;
+  c.initial_macr = Rate::mbps(8.5);
+  return c;
+}
+
+TEST(ResidualFilterTest, StartsAtInitialMacr) {
+  ResidualFilter f{Rate::mbps(150), base_config()};
+  EXPECT_DOUBLE_EQ(f.macr().mbits_per_sec(), 8.5);
+  EXPECT_DOUBLE_EQ(f.target().mbits_per_sec(), 0.95 * 150);
+}
+
+TEST(ResidualFilterTest, InitialMacrClampedToTarget) {
+  PhantomConfig c = base_config();
+  c.initial_macr = Rate::mbps(500);
+  ResidualFilter f{Rate::mbps(150), c};
+  EXPECT_DOUBLE_EQ(f.macr().mbits_per_sec(), 0.95 * 150);
+}
+
+TEST(ResidualFilterTest, IdleLinkDrivesMacrToTarget) {
+  ResidualFilter f{Rate::mbps(150), base_config()};
+  for (int i = 0; i < 3000; ++i) f.update(Rate::zero());
+  EXPECT_NEAR(f.macr().mbits_per_sec(), 0.95 * 150, 1.0);
+}
+
+TEST(ResidualFilterTest, FixedPointIsResidualBandwidth) {
+  // If the offered load is a constant L, MACR converges to u*C - L.
+  ResidualFilter f{Rate::mbps(150), base_config()};
+  for (int i = 0; i < 5000; ++i) f.update(Rate::mbps(100));
+  EXPECT_NEAR(f.macr().mbits_per_sec(), 0.95 * 150 - 100, 0.5);
+}
+
+TEST(ResidualFilterTest, NPlusOneEquilibriumUnderClosedLoop) {
+  // Close the loop the way n pinned greedy sessions do: offered = n*MACR.
+  // Fixed point: MACR = u*C/(n+1).
+  for (const int n : {1, 2, 5, 10}) {
+    ResidualFilter f{Rate::mbps(150), base_config()};
+    for (int i = 0; i < 20000; ++i) {
+      f.update(f.macr() * static_cast<double>(n));
+    }
+    EXPECT_NEAR(f.macr().mbits_per_sec(), 0.95 * 150 / (n + 1),
+                0.02 * 0.95 * 150 / (n + 1))
+        << "n = " << n;
+  }
+}
+
+TEST(ResidualFilterTest, OverloadPushesMacrTowardFloor) {
+  ResidualFilter f{Rate::mbps(150), base_config()};
+  for (int i = 0; i < 5000; ++i) f.update(Rate::mbps(300));
+  // Effective floor = max(TCR, 1% of u*C) = 1.425 Mb/s.
+  EXPECT_NEAR(f.macr().mbits_per_sec(), 0.01 * 0.95 * 150, 1e-6);
+}
+
+TEST(ResidualFilterTest, RelativeFloorDisablableForPureTcrFloor) {
+  PhantomConfig c = base_config();
+  c.min_macr_fraction = 0.0;
+  ResidualFilter f{Rate::mbps(150), c};
+  for (int i = 0; i < 5000; ++i) f.update(Rate::mbps(300));
+  EXPECT_NEAR(f.macr().bits_per_sec(), c.min_macr.bits_per_sec(), 1.0);
+}
+
+TEST(ResidualFilterTest, RejectsBadFloorFraction) {
+  PhantomConfig c = base_config();
+  c.min_macr_fraction = 1.0;
+  EXPECT_THROW((ResidualFilter{Rate::mbps(150), c}), std::invalid_argument);
+}
+
+TEST(ResidualFilterTest, MacrNeverLeavesClampRange) {
+  ResidualFilter f{Rate::mbps(150), base_config()};
+  // Alternate violently between idle and massive overload.
+  for (int i = 0; i < 2000; ++i) {
+    f.update(i % 2 == 0 ? Rate::zero() : Rate::mbps(1000));
+    EXPECT_GE(f.macr().mbits_per_sec(), 0.01 * 0.95 * 150 - 1e-9);
+    EXPECT_LE(f.macr().mbits_per_sec(), 0.95 * 150 + 1e-9);
+  }
+}
+
+TEST(ResidualFilterTest, DecreaseReactsFasterThanIncrease) {
+  // Same-magnitude error: the downward step must be at least as large,
+  // because alpha_dec > alpha_inc (congestion handled urgently).
+  PhantomConfig c = base_config();
+  c.adaptive_gain = false;
+  c.initial_macr = Rate::mbps(50);
+  ResidualFilter up{Rate::mbps(150), c};
+  ResidualFilter down{Rate::mbps(150), c};
+  // up: offered 52.5 -> delta 90 -> err +40 Mb/s.
+  const double before_up = up.macr().mbits_per_sec();
+  up.update(Rate::mbps(52.5));
+  const double step_up = up.macr().mbits_per_sec() - before_up;
+  // down: offered 132.5 -> delta 10 -> err -40 Mb/s.
+  const double before_down = down.macr().mbits_per_sec();
+  down.update(Rate::mbps(132.5));
+  const double step_down = before_down - down.macr().mbits_per_sec();
+  EXPECT_GT(step_up, 0.0);
+  EXPECT_GT(step_down, 0.0);
+  EXPECT_GT(step_down, 2.0 * step_up);
+}
+
+TEST(ResidualFilterTest, FixedGainMatchesClassicEwma) {
+  PhantomConfig c = base_config();
+  c.adaptive_gain = false;
+  c.alpha_inc = 0.5;
+  c.initial_macr = Rate::mbps(10);
+  ResidualFilter f{Rate::mbps(150), c};
+  // delta = 142.5 - 42.5 = 100; err = 90; step = 45.
+  f.update(Rate::mbps(42.5));
+  EXPECT_NEAR(f.macr().mbits_per_sec(), 55.0, 1e-9);
+}
+
+TEST(ResidualFilterTest, AdaptiveGainDampsNoisyInput) {
+  // Offered load alternates +-20 Mb/s around 100; the adaptive filter's
+  // steady-state oscillation must be smaller than the fixed filter's.
+  PhantomConfig fixed = base_config();
+  fixed.adaptive_gain = false;
+  PhantomConfig adaptive = base_config();
+  ResidualFilter ff{Rate::mbps(150), fixed};
+  ResidualFilter fa{Rate::mbps(150), adaptive};
+  double span_fixed = 0, span_adaptive = 0;
+  double min_f = 1e18, max_f = -1e18, min_a = 1e18, max_a = -1e18;
+  for (int i = 0; i < 4000; ++i) {
+    const Rate offered = Rate::mbps(i % 2 == 0 ? 80 : 120);
+    ff.update(offered);
+    fa.update(offered);
+    if (i > 2000) {  // steady state
+      min_f = std::min(min_f, ff.macr().mbits_per_sec());
+      max_f = std::max(max_f, ff.macr().mbits_per_sec());
+      min_a = std::min(min_a, fa.macr().mbits_per_sec());
+      max_a = std::max(max_a, fa.macr().mbits_per_sec());
+    }
+  }
+  span_fixed = max_f - min_f;
+  span_adaptive = max_a - min_a;
+  EXPECT_LT(span_adaptive, span_fixed);
+}
+
+TEST(ResidualFilterTest, DeviationTracksErrorMagnitude) {
+  ResidualFilter f{Rate::mbps(150), base_config()};
+  EXPECT_DOUBLE_EQ(f.deviation_bps(), 0.0);
+  f.update(Rate::zero());
+  EXPECT_GT(f.deviation_bps(), 0.0);
+  // After long convergence the error (and hence DEV) decays.
+  for (int i = 0; i < 5000; ++i) f.update(Rate::mbps(100));
+  EXPECT_LT(f.deviation_bps(), 1e6);
+}
+
+TEST(ResidualFilterTest, RejectsInvalidConfig) {
+  PhantomConfig c = base_config();
+  c.utilization = 1.5;
+  EXPECT_THROW((ResidualFilter{Rate::mbps(150), c}), std::invalid_argument);
+  c = base_config();
+  c.alpha_dec = 0.0;
+  EXPECT_THROW((ResidualFilter{Rate::mbps(150), c}), std::invalid_argument);
+  c = base_config();
+  c.interval = sim::Time::zero();
+  EXPECT_THROW((ResidualFilter{Rate::mbps(150), c}), std::invalid_argument);
+}
+
+// Property sweep: the closed-loop fixed point holds across utilization
+// targets and session counts.
+class FixedPointSweep
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(FixedPointSweep, ConvergesToUtilizationOverNPlusOne) {
+  const auto [u, n] = GetParam();
+  PhantomConfig c = base_config();
+  c.utilization = u;
+  ResidualFilter f{Rate::mbps(150), c};
+  for (int i = 0; i < 30000; ++i) f.update(f.macr() * static_cast<double>(n));
+  const double expect = u * 150.0 / (n + 1);
+  EXPECT_NEAR(f.macr().mbits_per_sec(), expect, 0.05 * expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FixedPointSweep,
+    ::testing::Combine(::testing::Values(0.8, 0.9, 0.95, 1.0),
+                       ::testing::Values(1, 3, 8, 20)));
+
+}  // namespace
+}  // namespace phantom::core

@@ -1,0 +1,138 @@
+// Cross-feature seams: Vegas under EFCI marking, Tahoe end-to-end,
+// CBR across multi-hop paths, demand + CBR interaction.
+#include <gtest/gtest.h>
+
+#include "exp/factories.h"
+#include "exp/probes.h"
+#include "sim/simulator.h"
+#include "stats/fairness.h"
+#include "tcp/phantom_policies.h"
+#include "tcp/tcp_network.h"
+#include "topo/abr_network.h"
+#include "topo/workload.h"
+
+namespace phantom {
+namespace {
+
+using sim::Rate;
+using sim::Simulator;
+using sim::Time;
+
+TEST(CrossFeatureTest, VegasHonoursEfciMarking) {
+  // The EFCI growth-suppression lives in the shared sender chassis, so
+  // it must bind for Vegas too: with every packet marked, the window
+  // can only shrink or hold.
+  Simulator sim;
+  tcp::TcpNetwork net{sim};
+  const auto r = net.add_router("r0");
+  tcp::TcpTrunkOptions opts;
+  opts.policy = [](Simulator& s, Rate rate) {
+    // Factor so small that everything with a measured CR is over-rate.
+    core::PhantomConfig cfg;
+    cfg.initial_macr = Rate::kbps(1);
+    return std::make_unique<tcp::EfciMarkPolicy>(s, rate, 1e-9, cfg);
+  };
+  const auto snk = net.add_sink_node(r, opts);
+  tcp::FlowOptions fo;
+  fo.kind = tcp::SenderKind::kVegas;
+  net.add_flow(r, {}, snk, fo);
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::sec(3));
+  // cwnd cannot have grown beyond the slow-start segments sent before
+  // the first CR measurement existed (~1 RTT of unmarked growth).
+  EXPECT_LT(net.source(0).cwnd_bytes(), 16 * 512.0);
+}
+
+TEST(CrossFeatureTest, TahoeDeliversEndToEnd) {
+  Simulator sim;
+  tcp::TcpNetwork net{sim};
+  const auto r = net.add_router("r0");
+  tcp::TcpTrunkOptions opts;
+  opts.queue_limit = 20;  // force losses so Tahoe's recovery is exercised
+  const auto snk = net.add_sink_node(r, opts);
+  tcp::FlowOptions fo;
+  fo.kind = tcp::SenderKind::kTahoe;
+  net.add_flow(r, {}, snk, fo);
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::sec(5));
+  EXPECT_GT(net.delivered_bytes(0), 2'000'000);
+  EXPECT_GT(net.source(0).fast_retransmits() + net.source(0).timeouts(), 0u);
+}
+
+TEST(CrossFeatureTest, CbrAcrossMultiHopPath) {
+  // CBR routed over two trunks: consumes capacity on both; the long ABR
+  // session sees the residual on each.
+  Simulator sim;
+  topo::AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto a = net.add_switch("a");
+  const auto b = net.add_switch("b");
+  const auto t = net.add_trunk(a, b, {});
+  const auto d = net.add_destination(b, {});
+  net.add_session(a, {t}, d);
+  net.add_cbr_session(a, {t}, d, Rate::mbps(60));
+  exp::GoodputProbe probe{sim, net};
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(400));
+  probe.mark();
+  sim.run_until(Time::ms(600));
+  // ABR share: (u*C - 60)/2 = 41.25 on each link (both equally loaded).
+  EXPECT_NEAR(probe.rates_mbps()[0], (0.95 * 150 - 60) / 2, 5.0);
+  EXPECT_GT(net.cbr_source(0).cells_sent(), 10'000u);
+  EXPECT_EQ(net.trunk_port(t).cells_dropped(), 0u);
+}
+
+TEST(CrossFeatureTest, DemandLimitedPlusCbrBackground) {
+  // All three traffic kinds at once: CBR 40, one 8 Mb/s-demand session,
+  // two greedy sessions. Greedy share: (u*C - 40 - 8)/3 = 31.5.
+  Simulator sim;
+  topo::AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto sw = net.add_switch("sw");
+  const auto d = net.add_destination(sw, {});
+  const auto bounded = net.add_session(sw, {}, d);
+  net.add_session(sw, {}, d);
+  net.add_session(sw, {}, d);
+  net.set_session_demand(bounded, Rate::mbps(8));
+  net.add_cbr_session(sw, {}, d, Rate::mbps(40));
+  exp::GoodputProbe probe{sim, net};
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(500));
+  probe.mark();
+  sim.run_until(Time::ms(700));
+  const auto rates = probe.rates_mbps();
+  EXPECT_NEAR(rates[0], 8.0, 1.0);
+  EXPECT_NEAR(rates[1], (0.95 * 150 - 40 - 8) / 3, 4.0);
+  EXPECT_NEAR(rates[2], (0.95 * 150 - 40 - 8) / 3, 4.0);
+  // Reference solver agrees on the full mixed allocation.
+  const auto ref = net.reference_rates(true, 0.95);
+  EXPECT_NEAR(ref[0].mbits_per_sec(), 8.0, 1e-9);
+  EXPECT_NEAR(ref[1].mbits_per_sec(), (0.95 * 150 - 40 - 8) / 3, 1e-6);
+}
+
+TEST(CrossFeatureTest, EricaWithOnOffTraffic) {
+  // The per-VC comparator also has to survive churn: its activity
+  // timeout releases the shares of silent VCs.
+  Simulator sim;
+  topo::AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kErica)};
+  const auto sw = net.add_switch("sw");
+  const auto d = net.add_destination(sw, {});
+  for (int i = 0; i < 3; ++i) net.add_session(sw, {}, d);
+  net.start_all(Time::zero(), Time::zero());
+  topo::OnOffDriver::Options opt;
+  opt.on_period = Time::ms(60);
+  opt.off_period = Time::ms(120);  // long off: must expire from the table
+  opt.first_toggle = Time::ms(60);
+  topo::OnOffDriver driver{sim, net.source(2), opt};
+  // Inside an OFF phase (60-180 ms after a few cycles): the two greedy
+  // sessions should share as n=2 under ERICA: u*C/2 = 71.25 each.
+  sim.run_until(Time::ms(480));  // off at 420.. (60 on, 120 off cycle)
+  exp::GoodputProbe probe{sim, net};
+  probe.mark();
+  sim.run_until(Time::ms(530));
+  const auto rates = probe.rates_mbps();
+  EXPECT_NEAR(rates[0], 0.95 * 150 / 2, 8.0);
+  EXPECT_NEAR(rates[1], 0.95 * 150 / 2, 8.0);
+  EXPECT_LT(rates[2], 1.0);
+}
+
+}  // namespace
+}  // namespace phantom

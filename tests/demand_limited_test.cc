@@ -1,0 +1,147 @@
+// Demand-limited (non-greedy) sessions: solver- and network-level.
+#include <gtest/gtest.h>
+
+#include "exp/factories.h"
+#include "exp/probes.h"
+#include "sim/simulator.h"
+#include "stats/fairness.h"
+#include "topo/abr_network.h"
+
+namespace phantom {
+namespace {
+
+using sim::Rate;
+using sim::Simulator;
+using sim::Time;
+using stats::MaxMinSolver;
+using topo::AbrNetwork;
+
+TEST(MaxMinDemandTest, BoundedSessionFreezesAtDemand) {
+  MaxMinSolver s;
+  const auto l = s.add_link(Rate::mbps(90));
+  s.add_session({l}, Rate::mbps(10));  // wants only 10
+  s.add_session({l});
+  s.add_session({l});
+  const auto r = s.solve();
+  EXPECT_DOUBLE_EQ(r[0].mbits_per_sec(), 10.0);
+  EXPECT_DOUBLE_EQ(r[1].mbits_per_sec(), 40.0);  // (90-10)/2
+  EXPECT_DOUBLE_EQ(r[2].mbits_per_sec(), 40.0);
+}
+
+TEST(MaxMinDemandTest, DemandAboveFairShareIsInert) {
+  MaxMinSolver s;
+  const auto l = s.add_link(Rate::mbps(90));
+  s.add_session({l}, Rate::mbps(80));  // wants more than the fair share
+  s.add_session({l});
+  s.add_session({l});
+  const auto r = s.solve();
+  for (const auto& x : r) EXPECT_DOUBLE_EQ(x.mbits_per_sec(), 30.0);
+}
+
+TEST(MaxMinDemandTest, CascadedDemands) {
+  // Demands met one at a time, each releasing capacity to the rest.
+  MaxMinSolver s;
+  const auto l = s.add_link(Rate::mbps(100));
+  s.add_session({l}, Rate::mbps(5));
+  s.add_session({l}, Rate::mbps(15));
+  s.add_session({l});
+  s.add_session({l});
+  const auto r = s.solve();
+  EXPECT_DOUBLE_EQ(r[0].mbits_per_sec(), 5.0);
+  EXPECT_DOUBLE_EQ(r[1].mbits_per_sec(), 15.0);
+  EXPECT_DOUBLE_EQ(r[2].mbits_per_sec(), 40.0);  // (100-20)/2
+  EXPECT_DOUBLE_EQ(r[3].mbits_per_sec(), 40.0);
+}
+
+TEST(MaxMinDemandTest, DemandsWithMultiHopBottlenecks) {
+  MaxMinSolver s;
+  const auto a = s.add_link(Rate::mbps(100));
+  const auto b = s.add_link(Rate::mbps(30));
+  s.add_session({a, b}, Rate::mbps(5));  // long, tiny demand
+  s.add_session({a});
+  s.add_session({b});
+  const auto r = s.solve();
+  EXPECT_DOUBLE_EQ(r[0].mbits_per_sec(), 5.0);
+  EXPECT_DOUBLE_EQ(r[1].mbits_per_sec(), 95.0);
+  EXPECT_DOUBLE_EQ(r[2].mbits_per_sec(), 25.0);
+}
+
+TEST(MaxMinDemandTest, RejectsNonPositiveDemand) {
+  MaxMinSolver s;
+  const auto l = s.add_link(Rate::mbps(100));
+  EXPECT_THROW(s.add_session({l}, Rate::zero()), std::invalid_argument);
+}
+
+TEST(AbrSourceDemandTest, EffectiveRateIsMinOfAcrAndDemand) {
+  Simulator sim;
+  struct Counter final : atm::CellSink {
+    void receive_cell(atm::Cell) override { ++cells; }
+    int cells = 0;
+  } sink;
+  atm::AbrSource src{sim, 1, atm::AbrParams{},
+                     atm::Link{sim, Time::zero(), sink}};
+  src.set_demand(Rate::mbps(4.24));  // 10k cells/s
+  src.start(Time::zero());
+  // Pump ACR well above the demand.
+  for (int i = 0; i < 50; ++i) {
+    atm::Cell brm = atm::Cell::forward_rm(1, Rate::zero(), Rate::mbps(150));
+    brm.kind = atm::CellKind::kBackwardRm;
+    src.receive_cell(brm);
+  }
+  EXPECT_GT(src.acr().mbits_per_sec(), 100.0);
+  EXPECT_DOUBLE_EQ(src.effective_rate().mbits_per_sec(), 4.24);
+  sim.run_until(Time::ms(100));
+  // Paced at the demand, not at ACR: ~1000 cells in 100 ms.
+  EXPECT_NEAR(static_cast<double>(sink.cells), 1000.0, 30.0);
+}
+
+TEST(DemandIntegrationTest, UnusedShareRedistributedToGreedySessions) {
+  // One 10 Mb/s-demand session + two greedy sessions. Phantom measures
+  // the *actual* load, so the greedy sessions and the phantom split
+  // u*C - 10 three ways: 44.2 Mb/s each.
+  Simulator sim;
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw, {});
+  const auto bounded = net.add_session(sw, {}, dest);
+  net.add_session(sw, {}, dest);
+  net.add_session(sw, {}, dest);
+  net.set_session_demand(bounded, Rate::mbps(10));
+  exp::GoodputProbe probe{sim, net};
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(400));
+  probe.mark();
+  sim.run_until(Time::ms(600));
+  const auto rates = probe.rates_mbps();
+  EXPECT_NEAR(rates[0], 10.0, 1.0);
+  EXPECT_NEAR(rates[1], (0.95 * 150 - 10) / 3, 4.0);
+  EXPECT_NEAR(rates[2], (0.95 * 150 - 10) / 3, 4.0);
+  // And the reference solver predicts the same split.
+  const auto ref = net.reference_rates(true, 0.95);
+  EXPECT_NEAR(ref[0].mbits_per_sec(), 10.0, 1e-9);
+  EXPECT_NEAR(ref[1].mbits_per_sec(), (0.95 * 150 - 10) / 3, 1e-6);
+}
+
+TEST(DemandIntegrationTest, DemandRaiseReclaimsShare) {
+  Simulator sim;
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw, {});
+  const auto s0 = net.add_session(sw, {}, dest);
+  net.add_session(sw, {}, dest);
+  net.set_session_demand(s0, Rate::mbps(5));
+  net.start_all(Time::zero(), Time::zero());
+  // Mid-run the application suddenly has unlimited data again.
+  sim.schedule_at(Time::ms(300),
+                  [&] { net.source(s0).set_demand(Rate::mbps(1000)); });
+  sim.run_until(Time::ms(700));
+  exp::GoodputProbe probe{sim, net};
+  probe.mark();
+  sim.run_until(Time::ms(900));
+  const auto rates = probe.rates_mbps();
+  EXPECT_NEAR(rates[0], 47.5, 5.0);  // back to the greedy equilibrium
+  EXPECT_NEAR(rates[1], 47.5, 5.0);
+}
+
+}  // namespace
+}  // namespace phantom

@@ -1,0 +1,122 @@
+// Property tests of the max-min solver on randomized inputs: the
+// allocation must always be feasible, saturate each session's
+// bottleneck, and satisfy the max-min defining property (no session can
+// gain without hurting an equal-or-poorer one).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.h"
+#include "stats/fairness.h"
+
+namespace phantom::stats {
+namespace {
+
+using sim::Rate;
+
+struct Instance {
+  std::vector<double> capacity;                 // bps
+  std::vector<std::vector<std::size_t>> paths;  // session -> links
+  std::vector<double> demand;                   // bps (may be +inf)
+  std::vector<double> rate;                     // solver output
+};
+
+Instance random_instance(std::uint64_t seed) {
+  sim::Rng rng{seed};
+  Instance inst;
+  MaxMinSolver solver;
+  const int links = static_cast<int>(rng.uniform_int(1, 6));
+  for (int l = 0; l < links; ++l) {
+    inst.capacity.push_back(rng.uniform(10e6, 200e6));
+    solver.add_link(Rate::bps(inst.capacity.back()));
+  }
+  const int sessions = static_cast<int>(rng.uniform_int(2, 10));
+  for (int s = 0; s < sessions; ++s) {
+    // Random contiguous path (so multi-link sessions exist).
+    const auto from = static_cast<std::size_t>(rng.uniform_int(0, links - 1));
+    const auto to =
+        static_cast<std::size_t>(rng.uniform_int(static_cast<std::int64_t>(from), links - 1));
+    std::vector<std::size_t> path;
+    for (std::size_t l = from; l <= to; ++l) path.push_back(l);
+    inst.paths.push_back(path);
+    const bool bounded = rng.bernoulli(0.3);
+    const double demand =
+        bounded ? rng.uniform(1e6, 50e6) : std::numeric_limits<double>::infinity();
+    inst.demand.push_back(demand);
+    solver.add_session(path, Rate::bps(std::min(demand, 1e18)));
+  }
+  for (const auto& r : solver.solve()) {
+    inst.rate.push_back(r.bits_per_sec());
+  }
+  return inst;
+}
+
+std::vector<double> link_loads(const Instance& inst) {
+  std::vector<double> load(inst.capacity.size(), 0.0);
+  for (std::size_t s = 0; s < inst.paths.size(); ++s) {
+    for (const std::size_t l : inst.paths[s]) load[l] += inst.rate[s];
+  }
+  return load;
+}
+
+class MaxMinPropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxMinPropertySweep, AllocationIsFeasible) {
+  const Instance inst = random_instance(static_cast<std::uint64_t>(GetParam()));
+  const auto load = link_loads(inst);
+  for (std::size_t l = 0; l < load.size(); ++l) {
+    EXPECT_LE(load[l], inst.capacity[l] * (1 + 1e-9)) << "link " << l;
+  }
+  for (std::size_t s = 0; s < inst.rate.size(); ++s) {
+    EXPECT_GT(inst.rate[s], 0.0) << "session " << s << " starved";
+    EXPECT_LE(inst.rate[s], inst.demand[s] * (1 + 1e-9));
+  }
+}
+
+TEST_P(MaxMinPropertySweep, EverySessionHasASaturatedBottleneckOrMetDemand) {
+  const Instance inst = random_instance(static_cast<std::uint64_t>(GetParam()));
+  const auto load = link_loads(inst);
+  for (std::size_t s = 0; s < inst.rate.size(); ++s) {
+    const bool demand_met = inst.rate[s] >= inst.demand[s] * (1 - 1e-9);
+    bool saturated = false;
+    for (const std::size_t l : inst.paths[s]) {
+      saturated |= load[l] >= inst.capacity[l] * (1 - 1e-9);
+    }
+    EXPECT_TRUE(demand_met || saturated) << "session " << s;
+  }
+}
+
+TEST_P(MaxMinPropertySweep, NoGainWithoutHurtingAPoorerSession) {
+  // Max-min defining property: a session below its demand cannot be
+  // given more bandwidth using only capacity taken from strictly
+  // richer sessions. Equivalent check: on some saturated link of the
+  // session, it already has the maximal rate among sessions whose
+  // demand is not the binding constraint.
+  const Instance inst = random_instance(static_cast<std::uint64_t>(GetParam()));
+  const auto load = link_loads(inst);
+  for (std::size_t s = 0; s < inst.rate.size(); ++s) {
+    if (inst.rate[s] >= inst.demand[s] * (1 - 1e-9)) continue;  // demand-bound
+    bool justified = false;
+    for (const std::size_t l : inst.paths[s]) {
+      if (load[l] < inst.capacity[l] * (1 - 1e-9)) continue;  // not saturated
+      // On this saturated link, is `s` among the top earners (so any
+      // increase must come from an equal-or-poorer session)?
+      double max_rate_on_link = 0.0;
+      for (std::size_t t = 0; t < inst.rate.size(); ++t) {
+        for (const std::size_t lt : inst.paths[t]) {
+          if (lt == l) max_rate_on_link = std::max(max_rate_on_link, inst.rate[t]);
+        }
+      }
+      if (inst.rate[s] >= max_rate_on_link * (1 - 1e-9)) {
+        justified = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(justified) << "session " << s << " could be raised";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinPropertySweep, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace phantom::stats

@@ -1,0 +1,109 @@
+// Property tests on randomly generated topologies: for any linear
+// multi-switch network with random trunk rates and random session
+// paths, Phantom's measured goodputs track the phantom-augmented
+// max-min reference.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exp/factories.h"
+#include "exp/probes.h"
+#include "sim/simulator.h"
+#include "stats/fairness.h"
+#include "topo/abr_network.h"
+
+namespace phantom {
+namespace {
+
+using sim::Rate;
+using sim::Simulator;
+using sim::Time;
+using topo::AbrNetwork;
+using topo::TrunkOptions;
+
+struct Generated {
+  std::unique_ptr<AbrNetwork> net;
+  std::size_t sessions = 0;
+};
+
+/// Random linear chain: 2-4 switches, trunks at 45/100/150 Mb/s, 3-6
+/// sessions with random contiguous sub-paths. Every session also has a
+/// 25% chance of exiting through an uncontrolled stub before the chain
+/// ends.
+Generated generate(Simulator& sim, sim::Rng& rng) {
+  Generated g;
+  g.net = std::make_unique<AbrNetwork>(
+      sim, exp::make_factory(exp::Algorithm::kPhantom));
+  AbrNetwork& net = *g.net;
+
+  const int hops = static_cast<int>(rng.uniform_int(1, 3));  // trunk count
+  std::vector<AbrNetwork::SwitchId> sw;
+  for (int i = 0; i <= hops; ++i) sw.push_back(net.add_switch("s"));
+  std::vector<AbrNetwork::TrunkId> trunks;
+  const double rates[] = {45, 100, 150};
+  for (int i = 0; i < hops; ++i) {
+    TrunkOptions opt;
+    opt.rate = Rate::mbps(rates[rng.uniform_int(0, 2)]);
+    trunks.push_back(net.add_trunk(sw[static_cast<std::size_t>(i)],
+                                   sw[static_cast<std::size_t>(i + 1)], opt));
+  }
+  // One controlled destination at the chain's end plus uncontrolled
+  // stubs at every switch.
+  const auto d_end = net.add_destination(sw.back(), {});
+  TrunkOptions stub;
+  stub.controlled = false;
+  stub.rate = Rate::mbps(622);
+  std::vector<AbrNetwork::DestId> stubs;
+  for (const auto s : sw) stubs.push_back(net.add_destination(s, stub));
+
+  const int sessions = static_cast<int>(rng.uniform_int(3, 6));
+  for (int s = 0; s < sessions; ++s) {
+    const auto from =
+        static_cast<std::size_t>(rng.uniform_int(0, hops - 1));
+    // Random contiguous sub-path [from, to).
+    const auto to = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(from) + 1, hops));
+    std::vector<AbrNetwork::TrunkId> path(trunks.begin() +
+                                              static_cast<std::ptrdiff_t>(from),
+                                          trunks.begin() +
+                                              static_cast<std::ptrdiff_t>(to));
+    if (to == static_cast<std::size_t>(hops) && rng.bernoulli(0.75)) {
+      net.add_session(sw[from], path, d_end);  // runs to the real end
+    } else {
+      net.add_session(sw[from], path, stubs[to]);  // exits via a stub
+    }
+  }
+  g.sessions = net.num_sessions();
+  return g;
+}
+
+class RandomTopologySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTopologySweep, GoodputTracksReference) {
+  Simulator sim{static_cast<std::uint64_t>(GetParam())};
+  sim::Rng topo_rng{static_cast<std::uint64_t>(GetParam()) * 977 + 13};
+  const Generated g = generate(sim, topo_rng);
+  exp::GoodputProbe probe{sim, *g.net};
+  g.net->start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(500));
+  probe.mark();
+  sim.run_until(Time::ms(900));
+  const auto measured = probe.rates_mbps();
+  const auto ideal = g.net->reference_rates(/*phantom_per_link=*/true, 0.95);
+  ASSERT_EQ(measured.size(), ideal.size());
+  std::vector<double> ideal_mbps;
+  for (const auto& r : ideal) ideal_mbps.push_back(r.mbits_per_sec());
+  // Property: the whole allocation lands near the reference.
+  EXPECT_GT(stats::maxmin_closeness(measured, ideal_mbps), 0.85)
+      << "seed " << GetParam() << " with " << g.sessions << " sessions";
+  // Property: nothing is starved (every session gets > TCR by far).
+  for (std::size_t s = 0; s < measured.size(); ++s) {
+    EXPECT_GT(measured[s], 0.5) << "session " << s << " starved";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopologySweep,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace phantom

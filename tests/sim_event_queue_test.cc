@@ -1,0 +1,119 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace phantom::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Time::ms(3), [&] { order.push_back(3); });
+  q.schedule(Time::ms(1), [&] { order.push_back(1); });
+  q.schedule(Time::ms(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimestampsFireInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(Time::ms(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliestLiveEvent) {
+  EventQueue q;
+  q.schedule(Time::ms(7), [] {});
+  q.schedule(Time::ms(4), [] {});
+  EXPECT_EQ(q.next_time(), Time::ms(4));
+}
+
+TEST(EventQueueTest, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(Time::ms(1), [&] { fired = true; });
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelHeadExposesNextEvent) {
+  EventQueue q;
+  const EventId head = q.schedule(Time::ms(1), [] {});
+  q.schedule(Time::ms(2), [] {});
+  q.cancel(head);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), Time::ms(2));
+}
+
+TEST(EventQueueTest, DoubleCancelIsHarmless) {
+  EventQueue q;
+  const EventId id = q.schedule(Time::ms(1), [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelAfterFireIsHarmless) {
+  EventQueue q;
+  const EventId id = q.schedule(Time::ms(1), [] {});
+  q.pop().callback();
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelInvalidIdIsHarmless) {
+  EventQueue q;
+  q.cancel(EventId{});
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, SizeTracksLiveEventsThroughCancel) {
+  EventQueue q;
+  const EventId a = q.schedule(Time::ms(1), [] {});
+  q.schedule(Time::ms(2), [] {});
+  q.schedule(Time::ms(3), [] {});
+  EXPECT_EQ(q.size(), 3u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, PopReturnsTimestamp) {
+  EventQueue q;
+  q.schedule(Time::us(42), [] {});
+  EXPECT_EQ(q.pop().time, Time::us(42));
+}
+
+TEST(EventQueueTest, ManyInterleavedOperationsStayOrdered) {
+  EventQueue q;
+  std::vector<Time> popped;
+  std::vector<EventId> ids;
+  for (int i = 100; i > 0; --i) {
+    ids.push_back(q.schedule(Time::us(i), [] {}));
+  }
+  // Cancel every third event.
+  for (std::size_t i = 0; i < ids.size(); i += 3) q.cancel(ids[i]);
+  while (!q.empty()) popped.push_back(q.pop().time);
+  for (std::size_t i = 1; i < popped.size(); ++i) {
+    EXPECT_LE(popped[i - 1], popped[i]);
+  }
+  EXPECT_EQ(popped.size(), 100u - 34u);
+}
+
+}  // namespace
+}  // namespace phantom::sim

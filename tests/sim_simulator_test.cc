@@ -1,0 +1,138 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace phantom::sim {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), Time::zero());
+}
+
+TEST(SimulatorTest, RunAdvancesClockToEventTimes) {
+  Simulator sim;
+  std::vector<Time> seen;
+  sim.schedule(Time::ms(2), [&] { seen.push_back(sim.now()); });
+  sim.schedule(Time::ms(5), [&] { seen.push_back(sim.now()); });
+  const auto n = sim.run();
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(seen, (std::vector<Time>{Time::ms(2), Time::ms(5)}));
+  EXPECT_EQ(sim.now(), Time::ms(5));
+}
+
+TEST(SimulatorTest, CallbacksCanScheduleMoreEvents) {
+  Simulator sim;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (ticks < 5) sim.schedule(Time::ms(1), tick);
+  };
+  sim.schedule(Time::ms(1), tick);
+  sim.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(sim.now(), Time::ms(5));
+}
+
+TEST(SimulatorTest, ZeroDelayEventRunsAtCurrentInstant) {
+  Simulator sim;
+  Time inner_time = Time::max();
+  sim.schedule(Time::ms(3), [&] {
+    sim.schedule(Time::zero(), [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_time, Time::ms(3));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Time::ms(1), [&] { ++fired; });
+  sim.schedule(Time::ms(10), [&] { ++fired; });
+  const auto n = sim.run_until(Time::ms(5));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Time::ms(5));
+  EXPECT_TRUE(sim.pending());
+  sim.run_until(Time::ms(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), Time::ms(20));
+}
+
+TEST(SimulatorTest, RunUntilIncludesEventsExactlyAtDeadline) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(Time::ms(5), [&] { fired = true; });
+  sim.run_until(Time::ms(5));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StopAbortsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Time::ms(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule(Time::ms(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.pending());
+  // A subsequent run resumes.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule(Time::ms(1), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, ScheduleAtUsesAbsoluteTime) {
+  Simulator sim;
+  Time seen = Time::zero();
+  sim.schedule(Time::ms(1), [&] {
+    sim.schedule_at(Time::ms(10), [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, Time::ms(10));
+}
+
+TEST(SimulatorTest, PendingCountReflectsQueue) {
+  Simulator sim;
+  sim.schedule(Time::ms(1), [] {});
+  sim.schedule(Time::ms(2), [] {});
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_FALSE(sim.pending());
+}
+
+TEST(SimulatorTest, SameSeedSameStream) {
+  Simulator a{42}, b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.rng().uniform(0, 1), b.rng().uniform(0, 1));
+  }
+}
+
+TEST(SimulatorTest, PeriodicProcessPattern) {
+  // The idiom every model's interval timer uses.
+  Simulator sim;
+  int intervals = 0;
+  std::function<void()> timer = [&] {
+    ++intervals;
+    sim.schedule(Time::ms(1), timer);
+  };
+  sim.schedule(Time::ms(1), timer);
+  sim.run_until(Time::ms(100));
+  EXPECT_EQ(intervals, 100);
+}
+
+}  // namespace
+}  // namespace phantom::sim

@@ -1,0 +1,123 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace phantom::sim {
+namespace {
+
+TEST(TimeTest, DefaultIsZero) {
+  EXPECT_TRUE(Time{}.is_zero());
+  EXPECT_EQ(Time{}.nanoseconds(), 0);
+}
+
+TEST(TimeTest, FactoryUnitsAgree) {
+  EXPECT_EQ(Time::us(1), Time::ns(1'000));
+  EXPECT_EQ(Time::ms(1), Time::us(1'000));
+  EXPECT_EQ(Time::sec(1), Time::ms(1'000));
+  EXPECT_EQ(Time::sec(3).nanoseconds(), 3'000'000'000LL);
+}
+
+TEST(TimeTest, FromSecondsRoundsToNearestNs) {
+  EXPECT_EQ(Time::from_seconds(1e-9), Time::ns(1));
+  EXPECT_EQ(Time::from_seconds(1.4e-9), Time::ns(1));
+  EXPECT_EQ(Time::from_seconds(1.6e-9), Time::ns(2));
+  EXPECT_EQ(Time::from_seconds(-1.6e-9), Time::ns(-2));
+  EXPECT_EQ(Time::from_seconds(0.00325), Time::us(3250));
+}
+
+TEST(TimeTest, ArithmeticIsExact) {
+  const Time a = Time::ms(3);
+  const Time b = Time::us(250);
+  EXPECT_EQ((a + b).nanoseconds(), 3'250'000);
+  EXPECT_EQ((a - b).nanoseconds(), 2'750'000);
+  EXPECT_EQ((a * 4).nanoseconds(), 12'000'000);
+  EXPECT_EQ((a / 3).nanoseconds(), 1'000'000);
+  EXPECT_DOUBLE_EQ(a / b, 12.0);
+}
+
+TEST(TimeTest, CompoundAssignment) {
+  Time t = Time::ms(1);
+  t += Time::ms(2);
+  EXPECT_EQ(t, Time::ms(3));
+  t -= Time::us(500);
+  EXPECT_EQ(t, Time::us(2500));
+}
+
+TEST(TimeTest, ComparisonIsTotalOrder) {
+  EXPECT_LT(Time::us(999), Time::ms(1));
+  EXPECT_GT(Time::sec(1), Time::ms(999));
+  EXPECT_LE(Time::ms(5), Time::ms(5));
+  EXPECT_TRUE(Time::ns(-1).is_negative());
+  EXPECT_FALSE(Time::zero().is_negative());
+}
+
+TEST(TimeTest, SecondsConversions) {
+  const Time t = Time::ms(1500);
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(t.milliseconds(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.microseconds(), 1.5e6);
+}
+
+TEST(TimeTest, ScaleByDouble) {
+  EXPECT_EQ(Time::ms(10) * 0.5, Time::ms(5));
+  EXPECT_EQ(Time::ms(10) * 2.0, Time::ms(20));
+}
+
+TEST(TimeTest, ToStringPicksUnit) {
+  EXPECT_EQ(Time::ns(5).to_string(), "5ns");
+  EXPECT_EQ(Time::us(5).to_string(), "5us");
+  EXPECT_EQ(Time::ms(5).to_string(), "5ms");
+  EXPECT_EQ(Time::sec(5).to_string(), "5s");
+  EXPECT_EQ(Time::us(3250).to_string(), "3.25ms");
+}
+
+TEST(TimeTest, MaxActsAsInfinity) {
+  EXPECT_GT(Time::max(), Time::sec(1'000'000));
+}
+
+TEST(RateTest, FactoryUnitsAgree) {
+  EXPECT_DOUBLE_EQ(Rate::mbps(150).bits_per_sec(), 150e6);
+  EXPECT_DOUBLE_EQ(Rate::kbps(4.24).bits_per_sec(), 4240.0);
+  EXPECT_DOUBLE_EQ(Rate::bps(424).cells_per_second(), 1.0);
+}
+
+TEST(RateTest, CellConversionUses424BitCells) {
+  // The paper: TCR = 10 cells/s = 4.24 Kb/s.
+  EXPECT_DOUBLE_EQ(Rate::cells_per_sec(10).bits_per_sec(), 4240.0);
+  EXPECT_NEAR(Rate::mbps(150).cells_per_second(), 353773.58, 0.01);
+}
+
+TEST(RateTest, TransmissionTime) {
+  // One 424-bit cell at 150 Mb/s takes ~2.8267 us.
+  const Time cell = Rate::mbps(150).transmission_time(424);
+  EXPECT_NEAR(cell.microseconds(), 2.8267, 1e-3);
+  // 512-byte packet at 10 Mb/s: 409.6 us.
+  EXPECT_EQ(Rate::mbps(10).transmission_time(512 * 8), Time::ns(409'600));
+}
+
+TEST(RateTest, Arithmetic) {
+  const Rate a = Rate::mbps(100);
+  const Rate b = Rate::mbps(50);
+  EXPECT_EQ(a + b, Rate::mbps(150));
+  EXPECT_EQ(a - b, b);
+  EXPECT_EQ(a * 0.5, b);
+  EXPECT_EQ(a / 2.0, b);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+}
+
+TEST(RateTest, BitsIn) {
+  EXPECT_DOUBLE_EQ(Rate::mbps(150).bits_in(Time::ms(1)), 150e3);
+}
+
+TEST(RateTest, BytesPerSec) {
+  EXPECT_DOUBLE_EQ(Rate::bps(800).bytes_per_sec(), 100.0);
+}
+
+TEST(RateTest, ToString) {
+  EXPECT_EQ(Rate::mbps(150).to_string(), "150Mb/s");
+  EXPECT_EQ(Rate::kbps(4.24).to_string(), "4.24Kb/s");
+  EXPECT_EQ(Rate::bps(10).to_string(), "10b/s");
+}
+
+}  // namespace
+}  // namespace phantom::sim

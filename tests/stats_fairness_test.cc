@@ -1,0 +1,182 @@
+#include "stats/fairness.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace phantom::stats {
+namespace {
+
+using sim::Rate;
+
+TEST(JainIndexTest, EqualRatesArePerfectlyFair) {
+  const std::vector<double> r{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(jain_index(r), 1.0);
+}
+
+TEST(JainIndexTest, SingleHogGivesOneOverN) {
+  const std::vector<double> r{10, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(jain_index(r), 0.25);
+}
+
+TEST(JainIndexTest, KnownMixedValue) {
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42
+  const std::vector<double> r{1, 2, 3};
+  EXPECT_DOUBLE_EQ(jain_index(r), 36.0 / 42.0);
+}
+
+TEST(JainIndexTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  const std::vector<double> zeros{0, 0};
+  EXPECT_DOUBLE_EQ(jain_index(zeros), 1.0);
+}
+
+TEST(JainIndexTest, ScaleInvariant) {
+  const std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b;
+  for (double v : a) b.push_back(v * 1e6);
+  EXPECT_DOUBLE_EQ(jain_index(a), jain_index(b));
+}
+
+TEST(MaxMinClosenessTest, IdenticalVectorsScoreOne) {
+  const std::vector<double> m{1, 2, 3};
+  EXPECT_DOUBLE_EQ(maxmin_closeness(m, m), 1.0);
+}
+
+TEST(MaxMinClosenessTest, HalvedRatesScoreHalf) {
+  const std::vector<double> m{1, 1};
+  const std::vector<double> i{2, 2};
+  EXPECT_DOUBLE_EQ(maxmin_closeness(m, i), 0.5);
+}
+
+TEST(MaxMinClosenessTest, SymmetricInArguments) {
+  const std::vector<double> m{1, 4};
+  const std::vector<double> i{2, 2};
+  EXPECT_DOUBLE_EQ(maxmin_closeness(m, i), maxmin_closeness(i, m));
+}
+
+TEST(MaxMinSolverTest, SingleLinkEqualSplit) {
+  MaxMinSolver s;
+  const auto l = s.add_link(Rate::mbps(150));
+  for (int i = 0; i < 3; ++i) s.add_session({l});
+  const auto rates = s.solve();
+  ASSERT_EQ(rates.size(), 3u);
+  for (const auto& r : rates) EXPECT_DOUBLE_EQ(r.mbits_per_sec(), 50.0);
+}
+
+TEST(MaxMinSolverTest, PhantomSessionReducesShareToNPlusOne) {
+  // The Phantom equilibrium: n real sessions get u*C/(n+1) each.
+  MaxMinSolver s;
+  const auto l = s.add_link(Rate::mbps(150));
+  for (int i = 0; i < 2; ++i) s.add_session({l});
+  const auto rates = s.solve(/*phantom_per_link=*/true);
+  ASSERT_EQ(rates.size(), 2u);
+  for (const auto& r : rates) EXPECT_DOUBLE_EQ(r.mbits_per_sec(), 50.0);
+}
+
+TEST(MaxMinSolverTest, UtilizationScalesCapacity) {
+  MaxMinSolver s;
+  const auto l = s.add_link(Rate::mbps(100));
+  s.add_session({l});
+  const auto rates = s.solve(false, 0.95);
+  EXPECT_DOUBLE_EQ(rates[0].mbits_per_sec(), 95.0);
+}
+
+TEST(MaxMinSolverTest, ClassicTwoBottleneckExample) {
+  // Bertsekas-Gallager example: link A cap 10 with sessions {1,2,3},
+  // link B cap 20 with sessions {3,4}. Session 3 crosses both.
+  // Max-min: s1=s2=s3=10/3 on A; B then has 20-10/3 left for s4.
+  MaxMinSolver s;
+  const auto a = s.add_link(Rate::bps(10));
+  const auto b = s.add_link(Rate::bps(20));
+  s.add_session({a});
+  s.add_session({a});
+  s.add_session({a, b});
+  s.add_session({b});
+  const auto r = s.solve();
+  EXPECT_NEAR(r[0].bits_per_sec(), 10.0 / 3, 1e-9);
+  EXPECT_NEAR(r[1].bits_per_sec(), 10.0 / 3, 1e-9);
+  EXPECT_NEAR(r[2].bits_per_sec(), 10.0 / 3, 1e-9);
+  EXPECT_NEAR(r[3].bits_per_sec(), 20.0 - 10.0 / 3, 1e-9);
+}
+
+TEST(MaxMinSolverTest, ParkingLotLongSessionGetsBottleneckShare) {
+  // 3 links in a row, one long session over all three plus one local
+  // session per link: every link splits evenly two ways.
+  MaxMinSolver s;
+  std::vector<std::size_t> path;
+  for (int i = 0; i < 3; ++i) path.push_back(s.add_link(Rate::mbps(150)));
+  s.add_session(path);                       // long session
+  for (const auto l : path) s.add_session({l});  // locals
+  const auto r = s.solve();
+  for (const auto& x : r) EXPECT_DOUBLE_EQ(x.mbits_per_sec(), 75.0);
+}
+
+TEST(MaxMinSolverTest, HeterogeneousBottlenecks) {
+  // Long session constrained by the narrow middle link; locals on wide
+  // links pick up the slack.
+  MaxMinSolver s;
+  const auto l0 = s.add_link(Rate::mbps(100));
+  const auto l1 = s.add_link(Rate::mbps(10));
+  const auto l2 = s.add_link(Rate::mbps(100));
+  s.add_session({l0, l1, l2});  // long
+  s.add_session({l0});
+  s.add_session({l1});
+  s.add_session({l2});
+  const auto r = s.solve();
+  EXPECT_DOUBLE_EQ(r[0].mbits_per_sec(), 5.0);   // long: half of narrow link
+  EXPECT_DOUBLE_EQ(r[2].mbits_per_sec(), 5.0);   // narrow-link local
+  EXPECT_DOUBLE_EQ(r[1].mbits_per_sec(), 95.0);  // wide-link locals
+  EXPECT_DOUBLE_EQ(r[3].mbits_per_sec(), 95.0);
+}
+
+TEST(MaxMinSolverTest, AllocationsAreFeasible) {
+  // Property: on every link the allocated sum never exceeds capacity.
+  MaxMinSolver s;
+  const auto a = s.add_link(Rate::mbps(45));
+  const auto b = s.add_link(Rate::mbps(150));
+  const auto c = s.add_link(Rate::mbps(2));
+  s.add_session({a, b});
+  s.add_session({b, c});
+  s.add_session({a, b, c});
+  s.add_session({b});
+  const auto r = s.solve();
+  const double on_a = r[0].bits_per_sec() + r[2].bits_per_sec();
+  const double on_b = r[0].bits_per_sec() + r[1].bits_per_sec() +
+                      r[2].bits_per_sec() + r[3].bits_per_sec();
+  const double on_c = r[1].bits_per_sec() + r[2].bits_per_sec();
+  EXPECT_LE(on_a, 45e6 * (1 + 1e-9));
+  EXPECT_LE(on_b, 150e6 * (1 + 1e-9));
+  EXPECT_LE(on_c, 2e6 * (1 + 1e-9));
+  // And link b (the only bottleneck for session 3) is saturated.
+  EXPECT_NEAR(on_b, 150e6, 1.0);
+}
+
+TEST(MaxMinSolverTest, RejectsBadInput) {
+  MaxMinSolver s;
+  EXPECT_THROW(s.add_link(Rate::zero()), std::invalid_argument);
+  const auto l = s.add_link(Rate::mbps(1));
+  EXPECT_THROW(s.add_session({}), std::invalid_argument);
+  EXPECT_THROW(s.add_session({l + 5}), std::out_of_range);
+}
+
+// Parameterized property sweep: n greedy sessions on one link with a
+// phantom each get u*C/(n+1).
+class PhantomEquilibriumSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhantomEquilibriumSweep, NPlusOneRule) {
+  const int n = GetParam();
+  MaxMinSolver s;
+  const auto l = s.add_link(Rate::mbps(150));
+  for (int i = 0; i < n; ++i) s.add_session({l});
+  const auto r = s.solve(/*phantom_per_link=*/true, 0.95);
+  for (const auto& x : r) {
+    EXPECT_NEAR(x.mbits_per_sec(), 0.95 * 150.0 / (n + 1), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, PhantomEquilibriumSweep,
+                         ::testing::Values(1, 2, 3, 5, 10, 50));
+
+}  // namespace
+}  // namespace phantom::stats

@@ -1,0 +1,60 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace phantom::stats {
+namespace {
+
+TEST(HistogramTest, StartsEmpty) {
+  Histogram h{10.0, 100};
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, MeanAndMax) {
+  Histogram h{10.0, 100};
+  h.add(1.0);
+  h.add(2.0);
+  h.add(6.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 6.0);
+}
+
+TEST(HistogramTest, QuantilesOfUniformRamp) {
+  Histogram h{100.0, 1000};
+  for (int i = 0; i < 1000; ++i) h.add(static_cast<double>(i) / 10.0);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+}
+
+TEST(HistogramTest, OverflowBinCatchesOutliers) {
+  Histogram h{10.0, 10};
+  for (int i = 0; i < 99; ++i) h.add(1.0);
+  h.add(1e9);
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_NEAR(h.quantile(0.5), 1.0, 1.1);
+  // Outlier quantile reports the binned range's upper bound.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+}
+
+TEST(HistogramTest, RejectsBadConstructionAndInput) {
+  EXPECT_THROW((Histogram{0.0, 10}), std::invalid_argument);
+  EXPECT_THROW((Histogram{1.0, 0}), std::invalid_argument);
+  Histogram h{1.0, 10};
+  EXPECT_THROW(h.add(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)h.quantile(1.5), std::invalid_argument);
+}
+
+TEST(HistogramTest, PointMassQuantiles) {
+  Histogram h{10.0, 100};
+  for (int i = 0; i < 1000; ++i) h.add(4.2);
+  EXPECT_NEAR(h.quantile(0.01), 4.2, 0.2);
+  EXPECT_NEAR(h.quantile(0.99), 4.2, 0.2);
+}
+
+}  // namespace
+}  // namespace phantom::stats

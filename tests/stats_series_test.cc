@@ -1,0 +1,101 @@
+#include "stats/series.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace phantom::stats {
+namespace {
+
+using sim::Sample;
+using sim::Time;
+
+std::vector<Sample> ramp() {
+  // 10,20,...,100 at t = 1..10 ms.
+  std::vector<Sample> v;
+  for (int i = 1; i <= 10; ++i) {
+    v.push_back({Time::ms(i), static_cast<double>(i) * 10});
+  }
+  return v;
+}
+
+TEST(SummaryTest, WholeSeries) {
+  const auto s = summarize(ramp());
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_DOUBLE_EQ(s.mean, 55.0);
+  EXPECT_DOUBLE_EQ(s.min, 10.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.stddev, 28.7228, 1e-3);
+}
+
+TEST(SummaryTest, WindowedSelectsInclusiveRange) {
+  const auto s = summarize(ramp(), Time::ms(3), Time::ms(5));
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 40.0);
+  EXPECT_DOUBLE_EQ(s.min, 30.0);
+  EXPECT_DOUBLE_EQ(s.max, 50.0);
+}
+
+TEST(SummaryTest, EmptyWindow) {
+  const auto s = summarize(ramp(), Time::ms(11), Time::ms(20));
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(ValueAtTest, StepInterpolation) {
+  const auto v = ramp();
+  EXPECT_DOUBLE_EQ(value_at(v, Time::ms(1)), 10.0);
+  EXPECT_DOUBLE_EQ(value_at(v, Time::us(1500)), 10.0);
+  EXPECT_DOUBLE_EQ(value_at(v, Time::ms(10)), 100.0);
+  EXPECT_DOUBLE_EQ(value_at(v, Time::sec(1)), 100.0);
+}
+
+TEST(ValueAtTest, BeforeFirstSampleUsesFallback) {
+  const auto v = ramp();
+  EXPECT_DOUBLE_EQ(value_at(v, Time::us(500), -7.0), -7.0);
+  EXPECT_DOUBLE_EQ(value_at({}, Time::ms(1), 3.0), 3.0);
+}
+
+TEST(TimeAverageTest, ConstantSeries) {
+  std::vector<Sample> v{{Time::ms(0), 4.0}};
+  EXPECT_DOUBLE_EQ(time_average(v, Time::ms(0), Time::ms(10)), 4.0);
+}
+
+TEST(TimeAverageTest, StepChangeWeighting) {
+  // 0 until 5ms, then 10 until 10ms -> average 5 over [0,10].
+  std::vector<Sample> v{{Time::ms(0), 0.0}, {Time::ms(5), 10.0}};
+  EXPECT_DOUBLE_EQ(time_average(v, Time::ms(0), Time::ms(10)), 5.0);
+  // Over [5,10] it is all 10.
+  EXPECT_DOUBLE_EQ(time_average(v, Time::ms(5), Time::ms(10)), 10.0);
+  // Over [2.5, 7.5]: half 0, half 10.
+  EXPECT_DOUBLE_EQ(time_average(v, Time::us(2500), Time::us(7500)), 5.0);
+}
+
+TEST(ConvergenceTimeTest, DetectsSettlingPoint) {
+  // Oscillates then settles at 100 from t=6ms.
+  std::vector<Sample> v{
+      {Time::ms(1), 50},  {Time::ms(2), 160}, {Time::ms(3), 70},
+      {Time::ms(4), 130}, {Time::ms(5), 89},  {Time::ms(6), 101},
+      {Time::ms(7), 99},  {Time::ms(8), 100}, {Time::ms(20), 100},
+  };
+  EXPECT_EQ(convergence_time(v, 100.0, 0.05), Time::ms(6));
+}
+
+TEST(ConvergenceTimeTest, NeverSettlesReturnsMax) {
+  std::vector<Sample> v{{Time::ms(1), 0}, {Time::ms(2), 200}, {Time::ms(3), 0}};
+  EXPECT_EQ(convergence_time(v, 100.0, 0.05), Time::max());
+}
+
+TEST(ConvergenceTimeTest, MinHoldRejectsLateSettling) {
+  std::vector<Sample> v{{Time::ms(1), 0}, {Time::ms(9), 100}, {Time::ms(10), 100}};
+  EXPECT_EQ(convergence_time(v, 100.0, 0.05, Time::ms(5)), Time::max());
+  EXPECT_EQ(convergence_time(v, 100.0, 0.05, Time::ms(1)), Time::ms(9));
+}
+
+TEST(ConvergenceTimeTest, ImmediatelyInsideBand) {
+  std::vector<Sample> v{{Time::ms(1), 100}, {Time::ms(2), 100}};
+  EXPECT_EQ(convergence_time(v, 100.0, 0.05), Time::ms(1));
+}
+
+}  // namespace
+}  // namespace phantom::stats

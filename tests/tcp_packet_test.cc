@@ -1,0 +1,40 @@
+#include "tcp/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace phantom::tcp {
+namespace {
+
+TEST(PacketTest, DataFactory) {
+  const Packet p = Packet::data(3, 1024, 512);
+  EXPECT_EQ(p.kind, PacketKind::kData);
+  EXPECT_EQ(p.flow, 3);
+  EXPECT_EQ(p.seq, 1024);
+  EXPECT_EQ(p.payload, 512);
+  EXPECT_EQ(p.header, 40);
+  EXPECT_FALSE(p.efci);
+}
+
+TEST(PacketTest, WireSizeIncludesHeader) {
+  const Packet p = Packet::data(1, 0, 512);
+  EXPECT_EQ(p.wire_bytes(), 552);
+  EXPECT_EQ(p.wire_bits(), 4416);
+}
+
+TEST(PacketTest, AckFactory) {
+  const Packet a = Packet::make_ack(2, 4096);
+  EXPECT_EQ(a.kind, PacketKind::kAck);
+  EXPECT_EQ(a.flow, 2);
+  EXPECT_EQ(a.ack, 4096);
+  EXPECT_EQ(a.payload, 0);
+  EXPECT_EQ(a.wire_bytes(), 40);
+}
+
+TEST(PacketTest, SourceQuenchFactory) {
+  const Packet q = Packet::source_quench(7);
+  EXPECT_EQ(q.kind, PacketKind::kSourceQuench);
+  EXPECT_EQ(q.flow, 7);
+}
+
+}  // namespace
+}  // namespace phantom::tcp

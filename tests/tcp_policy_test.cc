@@ -1,0 +1,199 @@
+// Queue policies: DropTail, RED, and the four Phantom mechanisms.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "tcp/phantom_policies.h"
+#include "tcp/queue_policy.h"
+#include "tcp/red_policy.h"
+
+namespace phantom::tcp {
+namespace {
+
+using sim::Rate;
+using sim::Simulator;
+using sim::Time;
+
+Packet pkt(double cr_mbps, int flow = 1) {
+  Packet p = Packet::data(flow, 0, 512);
+  p.cr = Rate::mbps(cr_mbps);
+  return p;
+}
+
+TEST(DropTailTest, AlwaysAccepts) {
+  DropTailPolicy p;
+  const Verdict v = p.on_arrival(pkt(100), 63, 64);
+  EXPECT_FALSE(v.drop);
+  EXPECT_FALSE(v.mark_efci);
+  EXPECT_FALSE(v.send_quench);
+}
+
+TEST(RedTest, ShortQueueNeverDrops) {
+  Simulator sim;
+  RedPolicy red{sim};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(red.on_arrival(pkt(1), 2, 64).drop);
+  }
+}
+
+TEST(RedTest, SustainedLongQueueForcesDrops) {
+  Simulator sim;
+  RedPolicy red{sim};
+  int drops = 0;
+  for (int i = 0; i < 5000; ++i) {
+    drops += red.on_arrival(pkt(1), 30, 64).drop ? 1 : 0;
+  }
+  EXPECT_GT(drops, 100);
+  EXPECT_GT(red.average_queue(), 15.0);
+  EXPECT_EQ(red.early_drops(), static_cast<std::uint64_t>(drops));
+}
+
+TEST(RedTest, IntermediateQueueDropsProbabilistically) {
+  Simulator sim;
+  RedPolicy red{sim};
+  // Hold the instantaneous queue at 10 (between min=5 and max=15).
+  int drops = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    drops += red.on_arrival(pkt(1), 10, 64).drop ? 1 : 0;
+  }
+  const double rate = static_cast<double>(drops) / n;
+  EXPECT_GT(rate, 0.01);
+  EXPECT_LT(rate, 0.35);
+}
+
+TEST(RedTest, ConfigValidation) {
+  Simulator sim;
+  RedConfig bad;
+  bad.max_threshold = bad.min_threshold;
+  EXPECT_THROW((RedPolicy{sim, bad}), std::invalid_argument);
+  bad = {};
+  bad.weight = 0;
+  EXPECT_THROW((RedPolicy{sim, bad}), std::invalid_argument);
+}
+
+TEST(RateMeterTest, MacrConvergesOnResidualBandwidth) {
+  Simulator sim;
+  core::PhantomConfig cfg;
+  cfg.initial_macr = Rate::mbps(1);
+  PhantomRateMeter meter{sim, Rate::mbps(10), cfg};
+  // Offer a steady 4 Mb/s: 1000 packets of 552 bytes over 1.104 s.
+  std::function<void()> feed = [&] {
+    Packet p = pkt(4);
+    meter.count(p);
+    sim.schedule(Rate::mbps(4).transmission_time(p.wire_bits()), feed);
+  };
+  sim.schedule(Time::zero(), feed);
+  sim.run_until(Time::sec(3));
+  // MACR -> u*C - offered = 9.5 - 4 = 5.5 Mb/s.
+  EXPECT_NEAR(meter.macr().mbits_per_sec(), 5.5, 0.3);
+}
+
+TEST(SelectiveDiscardTest, StrictModeDropsOnlyOverRatePackets) {
+  Simulator sim;
+  core::PhantomConfig cfg;
+  cfg.initial_macr = Rate::mbps(2);
+  SelectiveDiscardPolicy p{sim, Rate::mbps(10), 1.1, cfg,
+                           DiscardMode::kStrict};
+  // threshold = 1.1 * 2 = 2.2 Mb/s; queue (32 of 64) is above the gate.
+  EXPECT_FALSE(p.on_arrival(pkt(2.0), 32, 64).drop);
+  EXPECT_TRUE(p.on_arrival(pkt(3.0), 32, 64).drop);
+  EXPECT_FALSE(p.on_arrival(pkt(0.0), 32, 64).drop);  // unmeasured flows pass
+  EXPECT_EQ(p.selective_drops(), 1u);
+  EXPECT_EQ(p.name(), "selective-discard");
+}
+
+TEST(SelectiveDiscardTest, ShortQueueGatesOffAllSelectiveDrops) {
+  // Below the queue gate there is no congestion to avoid: even a
+  // grossly over-rate packet is admitted.
+  Simulator sim;
+  core::PhantomConfig cfg;
+  cfg.initial_macr = Rate::mbps(2);
+  SelectiveDiscardPolicy p{sim, Rate::mbps(10), 1.1, cfg,
+                           DiscardMode::kStrict};
+  EXPECT_FALSE(p.on_arrival(pkt(9.0), 0, 64).drop);
+  EXPECT_FALSE(p.on_arrival(pkt(9.0), 15, 64).drop);  // 15 < 0.25*64
+  EXPECT_TRUE(p.on_arrival(pkt(9.0), 16, 64).drop);
+}
+
+TEST(SelectiveDiscardTest, PolicingDropsAreProbabilisticAndCapped) {
+  Simulator sim;
+  core::PhantomConfig cfg;
+  cfg.initial_macr = Rate::mbps(2);
+  SelectiveDiscardPolicy p{sim, Rate::mbps(10), 1.1, cfg,
+                           DiscardMode::kPolice};
+  int drops = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    drops += p.on_arrival(pkt(100.0), 32, 64).drop ? 1 : 0;
+  }
+  // CR >> threshold: drop probability saturates at the cap.
+  EXPECT_NEAR(static_cast<double>(drops) / n, kMaxPoliceDropProbability,
+              0.02);
+  // Under-rate packets are never dropped.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(p.on_arrival(pkt(1.0), 32, 64).drop);
+  }
+}
+
+TEST(SelectiveDiscardTest, FairShareExposesMacr) {
+  Simulator sim;
+  core::PhantomConfig cfg;
+  cfg.initial_macr = Rate::mbps(2);
+  SelectiveDiscardPolicy p{sim, Rate::mbps(10), 1.1, cfg};
+  EXPECT_DOUBLE_EQ(p.fair_share().mbits_per_sec(), 2.0);
+}
+
+TEST(SelectiveRedTest, OnlyOverRatePacketsEligibleForEarlyDrop) {
+  Simulator sim;
+  core::PhantomConfig cfg;
+  cfg.initial_macr = Rate::mbps(2);
+  SelectiveRedPolicy p{sim, Rate::mbps(10), 1.1, cfg};
+  int drops_under = 0, drops_over = 0;
+  for (int i = 0; i < 3000; ++i) {
+    drops_under += p.on_arrival(pkt(1.0), 30, 64).drop ? 1 : 0;
+    drops_over += p.on_arrival(pkt(5.0), 30, 64).drop ? 1 : 0;
+  }
+  EXPECT_EQ(drops_under, 0);
+  EXPECT_GT(drops_over, 100);
+}
+
+TEST(SelectiveQuenchTest, QuenchesOverRateFlowsRateLimited) {
+  Simulator sim;
+  core::PhantomConfig cfg;
+  cfg.initial_macr = Rate::mbps(2);
+  SelectiveQuenchPolicy p{sim, Rate::mbps(10), 1.1, Time::ms(1), cfg};
+  const Verdict v1 = p.on_arrival(pkt(5.0), 0, 64);
+  EXPECT_TRUE(v1.send_quench);
+  EXPECT_FALSE(v1.drop);  // packet itself is kept
+  // Immediately after: rate limit suppresses the second quench.
+  const Verdict v2 = p.on_arrival(pkt(5.0), 0, 64);
+  EXPECT_FALSE(v2.send_quench);
+  sim.run_until(Time::ms(2));
+  EXPECT_TRUE(p.on_arrival(pkt(5.0), 0, 64).send_quench);
+  EXPECT_EQ(p.quenches_sent(), 2u);
+  // Under-rate flows never quenched.
+  sim.run_until(Time::ms(4));
+  EXPECT_FALSE(p.on_arrival(pkt(1.0), 0, 64).send_quench);
+}
+
+TEST(EfciMarkTest, MarksOverRatePackets) {
+  Simulator sim;
+  core::PhantomConfig cfg;
+  cfg.initial_macr = Rate::mbps(2);
+  EfciMarkPolicy p{sim, Rate::mbps(10), 1.0, cfg};
+  EXPECT_TRUE(p.on_arrival(pkt(3.0), 0, 64).mark_efci);
+  EXPECT_FALSE(p.on_arrival(pkt(1.0), 0, 64).mark_efci);
+  EXPECT_FALSE(p.on_arrival(pkt(3.0), 0, 64).drop);
+  EXPECT_EQ(p.marks(), 2u);
+}
+
+TEST(PhantomPoliciesTest, RejectNonPositiveFactor) {
+  Simulator sim;
+  EXPECT_THROW((SelectiveDiscardPolicy{sim, Rate::mbps(10), 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((EfciMarkPolicy{sim, Rate::mbps(10), -1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phantom::tcp

@@ -1,0 +1,177 @@
+// Edge cases of the shared TCP sender chassis: recovery interplay,
+// timer lifecycle, CR behaviour across idle periods, EFCI interactions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "tcp/reno.h"
+
+namespace phantom::tcp {
+namespace {
+
+using sim::Rate;
+using sim::Simulator;
+using sim::Time;
+
+struct Fixture {
+  Simulator sim;
+  std::vector<Packet> sent;
+  std::unique_ptr<RenoSource> src;
+
+  explicit Fixture(RenoConfig cfg = {}) {
+    src = std::make_unique<RenoSource>(
+        sim, 1, cfg, [this](Packet p) { sent.push_back(p); });
+  }
+  void start() {
+    src->start(Time::zero());
+    sim.run_until(Time::us(1));
+  }
+  void ack(std::int64_t n, bool efci = false) {
+    Packet a = Packet::make_ack(1, n);
+    a.timestamp = sim.now();
+    a.ack_efci = efci;
+    src->receive_packet(a);
+  }
+};
+
+TEST(SenderEdgeTest, RtoTimerCancelledWhenAllDataAcked) {
+  Fixture f;
+  f.start();
+  f.ack(512);  // everything outstanding is now... no: 2 more went out
+  f.ack(1024);
+  f.ack(1536);  // ack everything in flight
+  // Window is open (cwnd 4 mss) but flight is... ack all until no data
+  // outstanding is impossible for a greedy source — it refills. Verify
+  // instead that no RTO fires while the ACK clock runs.
+  for (int i = 4; i < 100; ++i) f.ack(512 * i);
+  EXPECT_EQ(f.src->timeouts(), 0u);
+}
+
+TEST(SenderEdgeTest, TimeoutDuringFastRecoveryResetsCleanly) {
+  Fixture f;
+  f.start();
+  f.ack(512);
+  f.ack(1024);
+  f.ack(1536);
+  for (int i = 0; i < 3; ++i) f.ack(1536);  // enter recovery
+  ASSERT_TRUE(f.src->in_fast_recovery());
+  // The retransmission is lost too: no more ACKs, RTO fires.
+  f.sim.run_until(Time::sec(3));
+  EXPECT_GE(f.src->timeouts(), 1u);
+  EXPECT_FALSE(f.src->in_fast_recovery());
+  EXPECT_DOUBLE_EQ(f.src->cwnd_bytes(), 512.0);
+}
+
+TEST(SenderEdgeTest, RecoveryAfterTimeoutStillWorks) {
+  Fixture f;
+  f.start();
+  f.sim.run_until(Time::sec(2));  // one timeout cycle
+  ASSERT_GE(f.src->timeouts(), 1u);
+  // ACK clock resumes; the source climbs back in slow start.
+  f.ack(512);
+  f.ack(1024);
+  EXPECT_GT(f.src->cwnd_bytes(), 512.0);
+  EXPECT_GT(f.sent.size(), 2u);
+}
+
+TEST(SenderEdgeTest, DupAcksBelowThreeAreHarmless) {
+  Fixture f;
+  f.start();
+  f.ack(512);
+  const double cwnd = f.src->cwnd_bytes();
+  f.ack(512);  // dup 1
+  f.ack(512);  // dup 2
+  EXPECT_EQ(f.src->fast_retransmits(), 0u);
+  EXPECT_DOUBLE_EQ(f.src->cwnd_bytes(), cwnd);
+  // A new ACK resets the counter: two more dups still do not trigger.
+  f.ack(1024);
+  f.ack(1024);
+  f.ack(1024);
+  EXPECT_EQ(f.src->fast_retransmits(), 0u);
+}
+
+TEST(SenderEdgeTest, EfciDuringRecoveryDoesNotDoubleShrink) {
+  Fixture f;
+  f.start();
+  f.ack(512);
+  f.ack(1024);
+  f.ack(1536);
+  for (int i = 0; i < 3; ++i) f.ack(1536);
+  ASSERT_TRUE(f.src->in_fast_recovery());
+  // Recovery exit with EFCI set: the deflation to ssthresh happens, the
+  // EFCI suppression is irrelevant (no growth was due anyway).
+  f.ack(3072, /*efci=*/true);
+  EXPECT_DOUBLE_EQ(f.src->cwnd_bytes(),
+                   static_cast<double>(f.src->ssthresh_bytes()));
+}
+
+TEST(SenderEdgeTest, CrDropsToZeroWhenAcksStop) {
+  RenoConfig cfg;
+  Fixture f{cfg};
+  f.start();
+  for (int i = 1; i <= 20; ++i) f.ack(512 * i);
+  f.sim.run_until(Time::ms(11));
+  EXPECT_GT(f.src->current_rate().bits_per_sec(), 0.0);
+  // Nothing acked for several CR intervals: CR decays to zero (so a
+  // quiesced flow is never policed by the router mechanisms).
+  f.sim.run_until(Time::ms(45));
+  EXPECT_DOUBLE_EQ(f.src->current_rate().bits_per_sec(), 0.0);
+}
+
+TEST(SenderEdgeTest, PacketsSentCounterIncludesRetransmissions) {
+  Fixture f;
+  f.start();
+  f.ack(512);
+  f.ack(1024);
+  f.ack(1536);
+  const auto before = f.src->packets_sent();
+  for (int i = 0; i < 3; ++i) f.ack(1536);
+  EXPECT_GT(f.src->packets_sent(), before);  // the fast retransmit
+}
+
+TEST(SenderEdgeTest, QuenchBeforeStartIsSafe) {
+  Fixture f;
+  f.src->receive_packet(Packet::source_quench(1));
+  EXPECT_EQ(f.src->quenches_received(), 1u);
+  f.start();
+  EXPECT_EQ(f.sent.size(), 1u);  // starts normally afterwards
+}
+
+TEST(SenderEdgeTest, ForeignFlowPacketsIgnored) {
+  Fixture f;
+  f.start();
+  Packet a = Packet::make_ack(99, 512);
+  a.timestamp = f.sim.now();
+  f.src->receive_packet(a);
+  f.src->receive_packet(Packet::source_quench(99));
+  EXPECT_DOUBLE_EQ(f.src->cwnd_bytes(), 512.0);
+  EXPECT_EQ(f.src->quenches_received(), 0u);
+}
+
+TEST(SenderEdgeTest, StressManyLossCyclesStaysConsistent) {
+  // Property-ish soak: alternate bursts of ACKs with silences (RTOs)
+  // and dup-ack storms; the sender must never violate basic invariants.
+  Fixture f;
+  f.start();
+  std::int64_t acked = 0;
+  for (int round = 0; round < 30; ++round) {
+    // Partial progress.
+    for (int i = 0; i < 5; ++i) {
+      acked += 512;
+      f.ack(acked);
+      EXPECT_GE(f.src->cwnd_bytes(), 512.0);
+      EXPECT_GE(f.src->ssthresh_bytes(), 1024);
+    }
+    if (round % 3 == 0) {
+      for (int i = 0; i < 4; ++i) f.ack(acked);  // dup storm
+    } else if (round % 3 == 1) {
+      f.sim.run_until(f.sim.now() + Time::ms(1500));  // silence -> RTO
+    }
+  }
+  EXPECT_EQ(f.src->bytes_acked(), acked);
+  EXPECT_GT(f.src->packets_sent(), 100u);
+}
+
+}  // namespace
+}  // namespace phantom::tcp

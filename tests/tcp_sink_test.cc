@@ -1,0 +1,101 @@
+#include "tcp/tcp_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace phantom::tcp {
+namespace {
+
+using sim::Simulator;
+using sim::Time;
+
+struct SinkFixture {
+  Simulator sim;
+  std::vector<Packet> acks;
+  TcpSink sink{sim, 1, [this](Packet p) { acks.push_back(p); }};
+
+  Packet seg(std::int64_t seq, std::int64_t len = 512) {
+    return Packet::data(1, seq, len);
+  }
+};
+
+TEST(TcpSinkTest, InOrderDeliveryAdvancesCumulativeAck) {
+  SinkFixture f;
+  f.sink.receive_packet(f.seg(0));
+  f.sink.receive_packet(f.seg(512));
+  ASSERT_EQ(f.acks.size(), 2u);
+  EXPECT_EQ(f.acks[0].ack, 512);
+  EXPECT_EQ(f.acks[1].ack, 1024);
+  EXPECT_EQ(f.sink.delivered_bytes(), 1024);
+}
+
+TEST(TcpSinkTest, GapProducesDuplicateAcks) {
+  SinkFixture f;
+  f.sink.receive_packet(f.seg(0));
+  f.sink.receive_packet(f.seg(1024));  // hole at 512
+  f.sink.receive_packet(f.seg(1536));
+  ASSERT_EQ(f.acks.size(), 3u);
+  EXPECT_EQ(f.acks[1].ack, 512);
+  EXPECT_EQ(f.acks[2].ack, 512);
+  EXPECT_EQ(f.sink.out_of_order_segments(), 2u);
+}
+
+TEST(TcpSinkTest, FillingHoleReleasesBufferedData) {
+  SinkFixture f;
+  f.sink.receive_packet(f.seg(0));
+  f.sink.receive_packet(f.seg(1024));
+  f.sink.receive_packet(f.seg(1536));
+  f.sink.receive_packet(f.seg(512));  // plugs the hole
+  EXPECT_EQ(f.acks.back().ack, 2048);
+  EXPECT_EQ(f.sink.delivered_bytes(), 2048);
+}
+
+TEST(TcpSinkTest, NonAdjacentRangesMergeCorrectly) {
+  SinkFixture f;
+  f.sink.receive_packet(f.seg(1024));
+  f.sink.receive_packet(f.seg(2048));
+  f.sink.receive_packet(f.seg(512));   // adjacent to 1024 range
+  f.sink.receive_packet(f.seg(0));     // plugs everything up to 1536
+  EXPECT_EQ(f.acks.back().ack, 1536);
+  f.sink.receive_packet(f.seg(1536));  // plugs the final hole
+  EXPECT_EQ(f.acks.back().ack, 2560);
+}
+
+TEST(TcpSinkTest, DuplicateSegmentsCountedAndReAcked) {
+  SinkFixture f;
+  f.sink.receive_packet(f.seg(0));
+  f.sink.receive_packet(f.seg(0));
+  EXPECT_EQ(f.sink.duplicate_segments(), 1u);
+  EXPECT_EQ(f.acks.back().ack, 512);
+}
+
+TEST(TcpSinkTest, EchoesTimestampAndEfci) {
+  SinkFixture f;
+  Packet p = f.seg(0);
+  p.timestamp = Time::ms(42);
+  p.efci = true;
+  f.sink.receive_packet(p);
+  ASSERT_EQ(f.acks.size(), 1u);
+  EXPECT_EQ(f.acks[0].timestamp, Time::ms(42));
+  EXPECT_TRUE(f.acks[0].ack_efci);
+}
+
+TEST(TcpSinkTest, IgnoresForeignFlowsAndNonData) {
+  SinkFixture f;
+  f.sink.receive_packet(Packet::data(2, 0, 512));  // wrong flow
+  f.sink.receive_packet(Packet::make_ack(1, 100));
+  f.sink.receive_packet(Packet::source_quench(1));
+  EXPECT_TRUE(f.acks.empty());
+  EXPECT_EQ(f.sink.delivered_bytes(), 0);
+}
+
+TEST(TcpSinkTest, RequiresEmitter) {
+  Simulator sim;
+  EXPECT_THROW((TcpSink{sim, 1, nullptr}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phantom::tcp

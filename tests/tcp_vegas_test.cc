@@ -1,0 +1,196 @@
+// Vegas and Tahoe senders: unit behaviour plus the paper's Vegas
+// unfairness observation.
+#include "tcp/vegas.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "stats/fairness.h"
+#include "tcp/reno.h"
+#include "tcp/tcp_network.h"
+
+namespace phantom::tcp {
+namespace {
+
+using sim::Rate;
+using sim::Simulator;
+using sim::Time;
+
+struct VegasFixture {
+  Simulator sim;
+  std::vector<Packet> sent;
+  VegasConfig config;
+  std::unique_ptr<VegasSource> src;
+
+  explicit VegasFixture(VegasConfig cfg = {}) : config{cfg} {
+    src = std::make_unique<VegasSource>(
+        sim, 1, config, [this](Packet p) { sent.push_back(p); });
+  }
+
+  void start() {
+    src->start(Time::zero());
+    sim.run_until(Time::us(1));
+  }
+
+  /// ACK with a controlled echoed-RTT: the echo timestamp is now - rtt.
+  void ack(std::int64_t ack_no, Time rtt) {
+    Packet a = Packet::make_ack(1, ack_no);
+    a.timestamp = sim.now() - rtt;
+    src->receive_packet(a);
+  }
+};
+
+TEST(VegasTest, TracksMinimumRttAsBase) {
+  VegasFixture f;
+  f.start();
+  f.sim.run_until(Time::ms(100));
+  f.ack(512, Time::ms(40));
+  EXPECT_EQ(f.src->base_rtt(), Time::ms(40));
+  f.ack(1024, Time::ms(60));  // larger: base unchanged
+  EXPECT_EQ(f.src->base_rtt(), Time::ms(40));
+  f.ack(1536, Time::ms(30));  // smaller: base updates
+  EXPECT_EQ(f.src->base_rtt(), Time::ms(30));
+}
+
+TEST(VegasTest, GrowsWhileQueueEstimateBelowAlpha) {
+  VegasFixture f;
+  f.start();
+  f.sim.run_until(Time::ms(100));
+  // Force congestion-avoidance mode.
+  f.src->receive_packet(Packet::source_quench(1));  // cwnd -> 1 mss
+  const double before = f.src->cwnd_bytes();
+  // RTT == BaseRTT: diff = 0 < alpha -> grow by one mss per RTT epoch.
+  f.ack(512, Time::ms(40));
+  EXPECT_GT(f.src->cwnd_bytes(), before);
+}
+
+TEST(VegasTest, ShrinksWhenQueueEstimateAboveBeta) {
+  VegasConfig cfg;
+  cfg.base.initial_ssthresh = 1024;  // leave slow start immediately
+  VegasFixture f{cfg};
+  f.start();
+  f.sim.run_until(Time::ms(100));
+  // Seed base RTT at 10 ms, then pump the window up.
+  f.ack(512, Time::ms(10));
+  for (int i = 2; i <= 12; ++i) f.ack(512 * i, Time::ms(10));
+  const double before = f.src->cwnd_bytes();
+  ASSERT_GT(before, 2048.0);
+  // Now the RTT doubles: diff = cwnd * (1 - 10/20) = cwnd/2 >> beta*mss.
+  // Drive complete RTT epochs (ack a full window each time) and watch
+  // the window walk DOWN one mss per epoch.
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    f.sim.run_until(f.sim.now() + Time::ms(20));
+    f.ack(f.src->bytes_acked() + static_cast<std::int64_t>(f.src->cwnd_bytes()),
+          Time::ms(20));
+  }
+  EXPECT_LT(f.src->cwnd_bytes(), before);
+}
+
+TEST(VegasTest, FastRetransmitCutsWindowToThreeQuarters) {
+  VegasFixture f;
+  f.start();
+  for (int i = 1; i <= 8; ++i) f.ack(512 * i, Time::ms(10));
+  const double before = f.src->cwnd_bytes();
+  for (int i = 0; i < 3; ++i) {
+    Packet dup = Packet::make_ack(1, f.src->bytes_acked());
+    dup.timestamp = f.sim.now();
+    f.src->receive_packet(dup);
+  }
+  EXPECT_EQ(f.src->fast_retransmits(), 1u);
+  // cwnd = 0.75 * before, then +1 mss inflation would come with more
+  // dups; check the 3/4 cut.
+  EXPECT_NEAR(f.src->cwnd_bytes(), 0.75 * before, 1.0);
+  EXPECT_EQ(f.src->name(), "vegas");
+}
+
+TEST(VegasTest, ConfigValidation) {
+  Simulator sim;
+  VegasConfig bad;
+  bad.beta_segments = bad.alpha_segments;  // beta must exceed alpha
+  EXPECT_THROW((VegasSource{sim, 1, bad, [](Packet) {}}),
+               std::invalid_argument);
+}
+
+TEST(TahoeTest, FastRetransmitRestartsSlowStart) {
+  Simulator sim;
+  std::vector<Packet> sent;
+  TahoeSource src{sim, 1, RenoConfig{}, [&](Packet p) { sent.push_back(p); }};
+  src.start(Time::zero());
+  sim.run_until(Time::us(1));
+  auto ack = [&](std::int64_t n) {
+    Packet a = Packet::make_ack(1, n);
+    a.timestamp = sim.now();
+    src.receive_packet(a);
+  };
+  ack(512);
+  ack(1024);
+  ack(1536);  // cwnd 4 mss, flight 1536..3584
+  for (int i = 0; i < 3; ++i) ack(1536);
+  EXPECT_EQ(src.fast_retransmits(), 1u);
+  EXPECT_FALSE(src.in_fast_recovery());       // Tahoe never enters recovery
+  EXPECT_DOUBLE_EQ(src.cwnd_bytes(), 512.0);  // back to one segment
+  EXPECT_EQ(src.name(), "tahoe");
+}
+
+TEST(VegasNetworkTest, SingleVegasFlowFillsThePipeWithShortQueue) {
+  Simulator sim;
+  TcpNetwork net{sim};
+  const auto r = net.add_router("r0");
+  const auto s = net.add_sink_node(r, {});
+  FlowOptions opts;
+  opts.kind = SenderKind::kVegas;
+  net.add_flow(r, {}, s, opts);
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::sec(2));
+  const auto at_2s = net.delivered_bytes(0);
+  sim.run_until(Time::sec(4));
+  const double mbps =
+      static_cast<double>(net.delivered_bytes(0) - at_2s) * 8 / 2.0 / 1e6;
+  EXPECT_GT(mbps, 7.0);
+  // Vegas' signature: it holds only alpha..beta segments of queue, so
+  // the bottleneck buffer stays nearly empty (Reno rides the limit).
+  EXPECT_LT(net.sink_port(s).max_queue_length(), 20u);
+  EXPECT_EQ(net.source(0).timeouts(), 0u);
+}
+
+TEST(VegasNetworkTest, UnequalVegasSharesNeverRebalance) {
+  // The paper: "when two sources that use Vegas get different window
+  // sizes ... there is no mechanism that would balance them. The
+  // current mechanisms would either increase both or decrease both."
+  // Stagger the flows (the latecomer measures an inflated BaseRTT while
+  // the first flow's segments sit in the queue); whatever imbalance
+  // results, it must PERSIST — Vegas has no equalizing force.
+  Simulator sim;
+  TcpNetwork net{sim};
+  const auto r = net.add_router("r0");
+  const auto s = net.add_sink_node(r, {});
+  FlowOptions opts;
+  opts.kind = SenderKind::kVegas;
+  net.add_flow(r, {}, s, opts);
+  net.add_flow(r, {}, s, opts);
+  net.source(0).start(Time::zero());
+  net.source(1).start(Time::sec(1));
+
+  auto window_share = [&](Time from, Time to) {
+    sim.run_until(from);
+    std::vector<std::int64_t> base{net.delivered_bytes(0),
+                                   net.delivered_bytes(1)};
+    sim.run_until(to);
+    const double a = static_cast<double>(net.delivered_bytes(0) - base[0]);
+    const double b = static_cast<double>(net.delivered_bytes(1) - base[1]);
+    return a / (a + b);
+  };
+  const double early = window_share(Time::sec(4), Time::sec(8));
+  const double late = window_share(Time::sec(8), Time::sec(16));
+  // Both windows are clearly unfair...
+  EXPECT_GT(std::abs(early - 0.5), 0.05);
+  EXPECT_GT(std::abs(late - 0.5), 0.05);
+  // ...in the same direction, and the gap does not close over time.
+  EXPECT_GT((early - 0.5) * (late - 0.5), 0.0);
+  EXPECT_GT(std::abs(late - 0.5), 0.6 * std::abs(early - 0.5));
+}
+
+}  // namespace
+}  // namespace phantom::tcp

@@ -1,0 +1,168 @@
+#include "topo/abr_network.h"
+
+#include <gtest/gtest.h>
+
+#include "core/phantom_controller.h"
+#include "sim/simulator.h"
+#include "topo/workload.h"
+
+namespace phantom::topo {
+namespace {
+
+using sim::Rate;
+using sim::Simulator;
+using sim::Time;
+
+ControllerFactory factory() {
+  return [](Simulator& sim, Rate rate) {
+    return std::make_unique<core::PhantomController>(sim, rate,
+                                                     core::PhantomConfig{});
+  };
+}
+
+TEST(AbrNetworkTest, RequiresFactory) {
+  Simulator sim;
+  EXPECT_THROW((AbrNetwork{sim, nullptr}), std::invalid_argument);
+}
+
+TEST(AbrNetworkTest, SingleBottleneckWiring) {
+  Simulator sim;
+  AbrNetwork net{sim, factory()};
+  const auto sw = net.add_switch("sw");
+  const auto d = net.add_destination(sw, {});
+  const auto s0 = net.add_session(sw, {}, d);
+  const auto s1 = net.add_session(sw, {}, d);
+  EXPECT_EQ(net.num_sessions(), 2u);
+  EXPECT_EQ(s0, 0u);
+  EXPECT_EQ(s1, 1u);
+  EXPECT_EQ(net.dest_port(d).controller().name(), "phantom");
+  // 1 dest port + 2 per-source backward ports.
+  EXPECT_EQ(net.node(sw).num_ports(), 3u);
+}
+
+TEST(AbrNetworkTest, CellsFlowEndToEnd) {
+  Simulator sim;
+  AbrNetwork net{sim, factory()};
+  const auto sw = net.add_switch("sw");
+  const auto d = net.add_destination(sw, {});
+  net.add_session(sw, {}, d);
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(20));
+  EXPECT_GT(net.delivered_cells(0), 100u);
+  EXPECT_GT(net.source(0).brm_cells_received(), 2u);
+  EXPECT_EQ(net.node(sw).unrouted_cells(), 0u);
+}
+
+TEST(AbrNetworkTest, TrunkPathValidation) {
+  Simulator sim;
+  AbrNetwork net{sim, factory()};
+  const auto a = net.add_switch("a");
+  const auto b = net.add_switch("b");
+  const auto c = net.add_switch("c");
+  const auto t_ab = net.add_trunk(a, b, {});
+  const auto t_bc = net.add_trunk(b, c, {});
+  const auto d_at_c = net.add_destination(c, {});
+  // Path not starting at ingress:
+  EXPECT_THROW(net.add_session(a, {t_bc}, d_at_c), std::invalid_argument);
+  // Destination not at the path's end:
+  const auto d_at_b = net.add_destination(b, {});
+  EXPECT_THROW(net.add_session(a, {t_ab, t_bc}, d_at_b),
+               std::invalid_argument);
+  // Correct path works.
+  EXPECT_NO_THROW(net.add_session(a, {t_ab, t_bc}, d_at_c));
+}
+
+TEST(AbrNetworkTest, AddTrunkRejectsBadIds) {
+  Simulator sim;
+  AbrNetwork net{sim, factory()};
+  const auto a = net.add_switch("a");
+  EXPECT_THROW(net.add_trunk(a, a, {}), std::out_of_range);
+  EXPECT_THROW(net.add_trunk(a, 42, {}), std::out_of_range);
+}
+
+TEST(AbrNetworkTest, MultiHopCellsTraverseAllSwitches) {
+  Simulator sim;
+  AbrNetwork net{sim, factory()};
+  const auto a = net.add_switch("a");
+  const auto b = net.add_switch("b");
+  const auto t = net.add_trunk(a, b, {});
+  const auto d = net.add_destination(b, {});
+  net.add_session(a, {t}, d);
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(20));
+  EXPECT_GT(net.delivered_cells(0), 100u);
+  EXPECT_GT(net.trunk_port(t).cells_transmitted(), 100u);
+  EXPECT_GT(net.source(0).brm_cells_received(), 2u);
+}
+
+TEST(AbrNetworkTest, ReferenceRatesMatchHandComputation) {
+  Simulator sim;
+  AbrNetwork net{sim, factory()};
+  const auto a = net.add_switch("a");
+  const auto b = net.add_switch("b");
+  TrunkOptions narrow;
+  narrow.rate = Rate::mbps(50);
+  const auto t = net.add_trunk(a, b, narrow);
+  const auto d = net.add_destination(b, {});  // 150 Mb/s controlled
+  net.add_session(a, {t}, d);   // crosses both controlled links
+  net.add_session(b, {}, d);    // only the dest link
+  const auto plain = net.reference_rates(false, 1.0);
+  EXPECT_DOUBLE_EQ(plain[0].mbits_per_sec(), 50.0);
+  EXPECT_DOUBLE_EQ(plain[1].mbits_per_sec(), 100.0);
+  const auto with_phantom = net.reference_rates(true, 1.0);
+  // Trunk carries session 0 + phantom: 25 each. Dest link carries
+  // session 0 (25), session 1 and a phantom: (150-25)/2 = 62.5.
+  EXPECT_DOUBLE_EQ(with_phantom[0].mbits_per_sec(), 25.0);
+  EXPECT_DOUBLE_EQ(with_phantom[1].mbits_per_sec(), 62.5);
+}
+
+TEST(AbrNetworkTest, ReferenceRatesRejectUnconstrainedSession) {
+  Simulator sim;
+  AbrNetwork net{sim, factory()};
+  const auto a = net.add_switch("a");
+  TrunkOptions stub;
+  stub.controlled = false;
+  const auto d = net.add_destination(a, stub);
+  net.add_session(a, {}, d);
+  EXPECT_THROW(net.reference_rates(false, 1.0), std::logic_error);
+}
+
+TEST(OnOffDriverTest, TogglesSourceOnSchedule) {
+  Simulator sim;
+  AbrNetwork net{sim, factory()};
+  const auto sw = net.add_switch("sw");
+  const auto d = net.add_destination(sw, {});
+  net.add_session(sw, {}, d);
+  net.start_all(Time::zero(), Time::zero());
+  OnOffDriver::Options opt;
+  opt.on_period = Time::ms(10);
+  opt.off_period = Time::ms(10);
+  opt.first_toggle = Time::ms(10);
+  OnOffDriver driver{sim, net.source(0), opt};
+  sim.run_until(Time::ms(15));
+  EXPECT_FALSE(net.source(0).active());
+  sim.run_until(Time::ms(25));
+  EXPECT_TRUE(net.source(0).active());
+  sim.run_until(Time::ms(100));
+  EXPECT_EQ(driver.toggles(), 10u);  // toggles at 10,20,...,100 ms
+}
+
+TEST(OnOffDriverTest, ExponentialPeriodsEventuallyToggle) {
+  Simulator sim{123};
+  AbrNetwork net{sim, factory()};
+  const auto sw = net.add_switch("sw");
+  const auto d = net.add_destination(sw, {});
+  net.add_session(sw, {}, d);
+  net.start_all(Time::zero(), Time::zero());
+  OnOffDriver::Options opt;
+  opt.on_period = Time::ms(5);
+  opt.off_period = Time::ms(5);
+  opt.first_toggle = Time::ms(5);
+  opt.exponential = true;
+  OnOffDriver driver{sim, net.source(0), opt};
+  sim.run_until(Time::ms(200));
+  EXPECT_GT(driver.toggles(), 10u);
+}
+
+}  // namespace
+}  // namespace phantom::topo
