@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_gfc.dir/bench_fig_gfc.cc.o"
+  "CMakeFiles/bench_fig_gfc.dir/bench_fig_gfc.cc.o.d"
+  "bench_fig_gfc"
+  "bench_fig_gfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_gfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

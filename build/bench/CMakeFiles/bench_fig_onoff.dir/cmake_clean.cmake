@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_onoff.dir/bench_fig_onoff.cc.o"
+  "CMakeFiles/bench_fig_onoff.dir/bench_fig_onoff.cc.o.d"
+  "bench_fig_onoff"
+  "bench_fig_onoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_onoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_parking_lot.dir/bench_fig_parking_lot.cc.o"
+  "CMakeFiles/bench_fig_parking_lot.dir/bench_fig_parking_lot.cc.o.d"
+  "bench_fig_parking_lot"
+  "bench_fig_parking_lot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_parking_lot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

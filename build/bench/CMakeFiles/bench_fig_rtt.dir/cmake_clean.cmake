@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_rtt.dir/bench_fig_rtt.cc.o"
+  "CMakeFiles/bench_fig_rtt.dir/bench_fig_rtt.cc.o.d"
+  "bench_fig_rtt"
+  "bench_fig_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

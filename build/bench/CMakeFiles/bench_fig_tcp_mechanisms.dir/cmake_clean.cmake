@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_tcp_mechanisms.dir/bench_fig_tcp_mechanisms.cc.o"
+  "CMakeFiles/bench_fig_tcp_mechanisms.dir/bench_fig_tcp_mechanisms.cc.o.d"
+  "bench_fig_tcp_mechanisms"
+  "bench_fig_tcp_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_tcp_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_vegas.dir/bench_fig_vegas.cc.o"
+  "CMakeFiles/bench_fig_vegas.dir/bench_fig_vegas.cc.o.d"
+  "bench_fig_vegas"
+  "bench_fig_vegas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_vegas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

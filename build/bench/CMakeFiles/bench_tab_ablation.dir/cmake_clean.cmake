@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_ablation.dir/bench_tab_ablation.cc.o"
+  "CMakeFiles/bench_tab_ablation.dir/bench_tab_ablation.cc.o.d"
+  "bench_tab_ablation"
+  "bench_tab_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_comparison.dir/bench_tab_comparison.cc.o"
+  "CMakeFiles/bench_tab_comparison.dir/bench_tab_comparison.cc.o.d"
+  "bench_tab_comparison"
+  "bench_tab_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_scale.dir/bench_tab_scale.cc.o"
+  "CMakeFiles/bench_tab_scale.dir/bench_tab_scale.cc.o.d"
+  "bench_tab_scale"
+  "bench_tab_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

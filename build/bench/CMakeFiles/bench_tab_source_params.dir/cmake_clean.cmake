@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_source_params.dir/bench_tab_source_params.cc.o"
+  "CMakeFiles/bench_tab_source_params.dir/bench_tab_source_params.cc.o.d"
+  "bench_tab_source_params"
+  "bench_tab_source_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_source_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

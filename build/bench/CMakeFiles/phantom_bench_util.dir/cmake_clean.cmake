@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/phantom_bench_util.dir/bench_util.cc.o.d"
+  "libphantom_bench_util.a"
+  "libphantom_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

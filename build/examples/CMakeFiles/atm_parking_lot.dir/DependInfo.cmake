@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/atm_parking_lot.cpp" "examples/CMakeFiles/atm_parking_lot.dir/atm_parking_lot.cpp.o" "gcc" "examples/CMakeFiles/atm_parking_lot.dir/atm_parking_lot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/phantom_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/phantom_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/phantom_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/phantom_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/phantom_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/phantom_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/phantom_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phantom_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_parking_lot.dir/atm_parking_lot.cpp.o"
+  "CMakeFiles/atm_parking_lot.dir/atm_parking_lot.cpp.o.d"
+  "atm_parking_lot"
+  "atm_parking_lot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_parking_lot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_traffic.dir/background_traffic.cpp.o"
+  "CMakeFiles/background_traffic.dir/background_traffic.cpp.o.d"
+  "background_traffic"
+  "background_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

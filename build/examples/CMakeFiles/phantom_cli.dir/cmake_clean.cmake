@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_cli.dir/phantom_cli.cpp.o"
+  "CMakeFiles/phantom_cli.dir/phantom_cli.cpp.o.d"
+  "phantom_cli"
+  "phantom_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

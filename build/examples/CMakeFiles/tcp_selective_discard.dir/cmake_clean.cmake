@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_selective_discard.dir/tcp_selective_discard.cpp.o"
+  "CMakeFiles/tcp_selective_discard.dir/tcp_selective_discard.cpp.o.d"
+  "tcp_selective_discard"
+  "tcp_selective_discard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_selective_discard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atm/abr_destination.cc" "src/atm/CMakeFiles/phantom_atm.dir/abr_destination.cc.o" "gcc" "src/atm/CMakeFiles/phantom_atm.dir/abr_destination.cc.o.d"
+  "/root/repo/src/atm/abr_source.cc" "src/atm/CMakeFiles/phantom_atm.dir/abr_source.cc.o" "gcc" "src/atm/CMakeFiles/phantom_atm.dir/abr_source.cc.o.d"
+  "/root/repo/src/atm/cbr_source.cc" "src/atm/CMakeFiles/phantom_atm.dir/cbr_source.cc.o" "gcc" "src/atm/CMakeFiles/phantom_atm.dir/cbr_source.cc.o.d"
+  "/root/repo/src/atm/cell.cc" "src/atm/CMakeFiles/phantom_atm.dir/cell.cc.o" "gcc" "src/atm/CMakeFiles/phantom_atm.dir/cell.cc.o.d"
+  "/root/repo/src/atm/output_port.cc" "src/atm/CMakeFiles/phantom_atm.dir/output_port.cc.o" "gcc" "src/atm/CMakeFiles/phantom_atm.dir/output_port.cc.o.d"
+  "/root/repo/src/atm/switch.cc" "src/atm/CMakeFiles/phantom_atm.dir/switch.cc.o" "gcc" "src/atm/CMakeFiles/phantom_atm.dir/switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/phantom_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/phantom_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

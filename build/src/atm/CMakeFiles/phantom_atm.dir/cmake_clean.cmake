@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_atm.dir/abr_destination.cc.o"
+  "CMakeFiles/phantom_atm.dir/abr_destination.cc.o.d"
+  "CMakeFiles/phantom_atm.dir/abr_source.cc.o"
+  "CMakeFiles/phantom_atm.dir/abr_source.cc.o.d"
+  "CMakeFiles/phantom_atm.dir/cbr_source.cc.o"
+  "CMakeFiles/phantom_atm.dir/cbr_source.cc.o.d"
+  "CMakeFiles/phantom_atm.dir/cell.cc.o"
+  "CMakeFiles/phantom_atm.dir/cell.cc.o.d"
+  "CMakeFiles/phantom_atm.dir/output_port.cc.o"
+  "CMakeFiles/phantom_atm.dir/output_port.cc.o.d"
+  "CMakeFiles/phantom_atm.dir/switch.cc.o"
+  "CMakeFiles/phantom_atm.dir/switch.cc.o.d"
+  "libphantom_atm.a"
+  "libphantom_atm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/aprc.cc" "src/baselines/CMakeFiles/phantom_baselines.dir/aprc.cc.o" "gcc" "src/baselines/CMakeFiles/phantom_baselines.dir/aprc.cc.o.d"
+  "/root/repo/src/baselines/capc.cc" "src/baselines/CMakeFiles/phantom_baselines.dir/capc.cc.o" "gcc" "src/baselines/CMakeFiles/phantom_baselines.dir/capc.cc.o.d"
+  "/root/repo/src/baselines/eprca.cc" "src/baselines/CMakeFiles/phantom_baselines.dir/eprca.cc.o" "gcc" "src/baselines/CMakeFiles/phantom_baselines.dir/eprca.cc.o.d"
+  "/root/repo/src/baselines/erica.cc" "src/baselines/CMakeFiles/phantom_baselines.dir/erica.cc.o" "gcc" "src/baselines/CMakeFiles/phantom_baselines.dir/erica.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/phantom_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/phantom_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/phantom_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

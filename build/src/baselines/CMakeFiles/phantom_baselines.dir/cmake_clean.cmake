@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_baselines.dir/aprc.cc.o"
+  "CMakeFiles/phantom_baselines.dir/aprc.cc.o.d"
+  "CMakeFiles/phantom_baselines.dir/capc.cc.o"
+  "CMakeFiles/phantom_baselines.dir/capc.cc.o.d"
+  "CMakeFiles/phantom_baselines.dir/eprca.cc.o"
+  "CMakeFiles/phantom_baselines.dir/eprca.cc.o.d"
+  "CMakeFiles/phantom_baselines.dir/erica.cc.o"
+  "CMakeFiles/phantom_baselines.dir/erica.cc.o.d"
+  "libphantom_baselines.a"
+  "libphantom_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_core.dir/phantom_controller.cc.o"
+  "CMakeFiles/phantom_core.dir/phantom_controller.cc.o.d"
+  "CMakeFiles/phantom_core.dir/residual_filter.cc.o"
+  "CMakeFiles/phantom_core.dir/residual_filter.cc.o.d"
+  "libphantom_core.a"
+  "libphantom_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_exp.dir/factories.cc.o"
+  "CMakeFiles/phantom_exp.dir/factories.cc.o.d"
+  "CMakeFiles/phantom_exp.dir/probes.cc.o"
+  "CMakeFiles/phantom_exp.dir/probes.cc.o.d"
+  "CMakeFiles/phantom_exp.dir/report.cc.o"
+  "CMakeFiles/phantom_exp.dir/report.cc.o.d"
+  "libphantom_exp.a"
+  "libphantom_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_sim.dir/event_queue.cc.o"
+  "CMakeFiles/phantom_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/phantom_sim.dir/simulator.cc.o"
+  "CMakeFiles/phantom_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/phantom_sim.dir/time.cc.o"
+  "CMakeFiles/phantom_sim.dir/time.cc.o.d"
+  "libphantom_sim.a"
+  "libphantom_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_stats.dir/fairness.cc.o"
+  "CMakeFiles/phantom_stats.dir/fairness.cc.o.d"
+  "CMakeFiles/phantom_stats.dir/histogram.cc.o"
+  "CMakeFiles/phantom_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/phantom_stats.dir/series.cc.o"
+  "CMakeFiles/phantom_stats.dir/series.cc.o.d"
+  "libphantom_stats.a"
+  "libphantom_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/packet_port.cc" "src/tcp/CMakeFiles/phantom_tcp.dir/packet_port.cc.o" "gcc" "src/tcp/CMakeFiles/phantom_tcp.dir/packet_port.cc.o.d"
+  "/root/repo/src/tcp/phantom_policies.cc" "src/tcp/CMakeFiles/phantom_tcp.dir/phantom_policies.cc.o" "gcc" "src/tcp/CMakeFiles/phantom_tcp.dir/phantom_policies.cc.o.d"
+  "/root/repo/src/tcp/red_policy.cc" "src/tcp/CMakeFiles/phantom_tcp.dir/red_policy.cc.o" "gcc" "src/tcp/CMakeFiles/phantom_tcp.dir/red_policy.cc.o.d"
+  "/root/repo/src/tcp/router.cc" "src/tcp/CMakeFiles/phantom_tcp.dir/router.cc.o" "gcc" "src/tcp/CMakeFiles/phantom_tcp.dir/router.cc.o.d"
+  "/root/repo/src/tcp/tcp_network.cc" "src/tcp/CMakeFiles/phantom_tcp.dir/tcp_network.cc.o" "gcc" "src/tcp/CMakeFiles/phantom_tcp.dir/tcp_network.cc.o.d"
+  "/root/repo/src/tcp/tcp_sender.cc" "src/tcp/CMakeFiles/phantom_tcp.dir/tcp_sender.cc.o" "gcc" "src/tcp/CMakeFiles/phantom_tcp.dir/tcp_sender.cc.o.d"
+  "/root/repo/src/tcp/tcp_sink.cc" "src/tcp/CMakeFiles/phantom_tcp.dir/tcp_sink.cc.o" "gcc" "src/tcp/CMakeFiles/phantom_tcp.dir/tcp_sink.cc.o.d"
+  "/root/repo/src/tcp/vegas.cc" "src/tcp/CMakeFiles/phantom_tcp.dir/vegas.cc.o" "gcc" "src/tcp/CMakeFiles/phantom_tcp.dir/vegas.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/phantom_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/phantom_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/phantom_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/phantom_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

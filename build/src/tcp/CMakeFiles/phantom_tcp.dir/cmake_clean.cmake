@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_tcp.dir/packet_port.cc.o"
+  "CMakeFiles/phantom_tcp.dir/packet_port.cc.o.d"
+  "CMakeFiles/phantom_tcp.dir/phantom_policies.cc.o"
+  "CMakeFiles/phantom_tcp.dir/phantom_policies.cc.o.d"
+  "CMakeFiles/phantom_tcp.dir/red_policy.cc.o"
+  "CMakeFiles/phantom_tcp.dir/red_policy.cc.o.d"
+  "CMakeFiles/phantom_tcp.dir/router.cc.o"
+  "CMakeFiles/phantom_tcp.dir/router.cc.o.d"
+  "CMakeFiles/phantom_tcp.dir/tcp_network.cc.o"
+  "CMakeFiles/phantom_tcp.dir/tcp_network.cc.o.d"
+  "CMakeFiles/phantom_tcp.dir/tcp_sender.cc.o"
+  "CMakeFiles/phantom_tcp.dir/tcp_sender.cc.o.d"
+  "CMakeFiles/phantom_tcp.dir/tcp_sink.cc.o"
+  "CMakeFiles/phantom_tcp.dir/tcp_sink.cc.o.d"
+  "CMakeFiles/phantom_tcp.dir/vegas.cc.o"
+  "CMakeFiles/phantom_tcp.dir/vegas.cc.o.d"
+  "libphantom_tcp.a"
+  "libphantom_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

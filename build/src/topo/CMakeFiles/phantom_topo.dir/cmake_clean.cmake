@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_topo.dir/abr_network.cc.o"
+  "CMakeFiles/phantom_topo.dir/abr_network.cc.o.d"
+  "libphantom_topo.a"
+  "libphantom_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_abr_source_test.dir/atm_abr_source_test.cc.o"
+  "CMakeFiles/atm_abr_source_test.dir/atm_abr_source_test.cc.o.d"
+  "atm_abr_source_test"
+  "atm_abr_source_test.pdb"
+  "atm_abr_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_abr_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

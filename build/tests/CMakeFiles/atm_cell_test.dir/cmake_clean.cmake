@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_cell_test.dir/atm_cell_test.cc.o"
+  "CMakeFiles/atm_cell_test.dir/atm_cell_test.cc.o.d"
+  "atm_cell_test"
+  "atm_cell_test.pdb"
+  "atm_cell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_cell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_port_test.dir/atm_port_test.cc.o"
+  "CMakeFiles/atm_port_test.dir/atm_port_test.cc.o.d"
+  "atm_port_test"
+  "atm_port_test.pdb"
+  "atm_port_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_port_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

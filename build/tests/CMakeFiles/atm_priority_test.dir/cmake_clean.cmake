@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_priority_test.dir/atm_priority_test.cc.o"
+  "CMakeFiles/atm_priority_test.dir/atm_priority_test.cc.o.d"
+  "atm_priority_test"
+  "atm_priority_test.pdb"
+  "atm_priority_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_priority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_resilience_test.dir/atm_resilience_test.cc.o"
+  "CMakeFiles/atm_resilience_test.dir/atm_resilience_test.cc.o.d"
+  "atm_resilience_test"
+  "atm_resilience_test.pdb"
+  "atm_resilience_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_resilience_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_switch_test.dir/atm_switch_test.cc.o"
+  "CMakeFiles/atm_switch_test.dir/atm_switch_test.cc.o.d"
+  "atm_switch_test"
+  "atm_switch_test.pdb"
+  "atm_switch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_erica_test.dir/baselines_erica_test.cc.o"
+  "CMakeFiles/baselines_erica_test.dir/baselines_erica_test.cc.o.d"
+  "baselines_erica_test"
+  "baselines_erica_test.pdb"
+  "baselines_erica_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_erica_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

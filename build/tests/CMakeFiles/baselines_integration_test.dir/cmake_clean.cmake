@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_integration_test.dir/baselines_integration_test.cc.o"
+  "CMakeFiles/baselines_integration_test.dir/baselines_integration_test.cc.o.d"
+  "baselines_integration_test"
+  "baselines_integration_test.pdb"
+  "baselines_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_unit_test.dir/baselines_unit_test.cc.o"
+  "CMakeFiles/baselines_unit_test.dir/baselines_unit_test.cc.o.d"
+  "baselines_unit_test"
+  "baselines_unit_test.pdb"
+  "baselines_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_phantom_controller_test.dir/core_phantom_controller_test.cc.o"
+  "CMakeFiles/core_phantom_controller_test.dir/core_phantom_controller_test.cc.o.d"
+  "core_phantom_controller_test"
+  "core_phantom_controller_test.pdb"
+  "core_phantom_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_phantom_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

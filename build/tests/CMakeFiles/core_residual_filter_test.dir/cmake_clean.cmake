@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_residual_filter_test.dir/core_residual_filter_test.cc.o"
+  "CMakeFiles/core_residual_filter_test.dir/core_residual_filter_test.cc.o.d"
+  "core_residual_filter_test"
+  "core_residual_filter_test.pdb"
+  "core_residual_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_residual_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demand_limited_test.dir/demand_limited_test.cc.o"
+  "CMakeFiles/demand_limited_test.dir/demand_limited_test.cc.o.d"
+  "demand_limited_test"
+  "demand_limited_test.pdb"
+  "demand_limited_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demand_limited_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_probes_test.dir/exp_probes_test.cc.o"
+  "CMakeFiles/exp_probes_test.dir/exp_probes_test.cc.o.d"
+  "exp_probes_test"
+  "exp_probes_test.pdb"
+  "exp_probes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_probes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_report_test.dir/exp_report_test.cc.o"
+  "CMakeFiles/exp_report_test.dir/exp_report_test.cc.o.d"
+  "exp_report_test"
+  "exp_report_test.pdb"
+  "exp_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

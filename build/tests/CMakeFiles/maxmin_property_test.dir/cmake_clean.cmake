@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_property_test.dir/maxmin_property_test.cc.o"
+  "CMakeFiles/maxmin_property_test.dir/maxmin_property_test.cc.o.d"
+  "maxmin_property_test"
+  "maxmin_property_test.pdb"
+  "maxmin_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

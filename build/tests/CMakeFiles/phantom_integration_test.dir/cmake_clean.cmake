@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_integration_test.dir/phantom_integration_test.cc.o"
+  "CMakeFiles/phantom_integration_test.dir/phantom_integration_test.cc.o.d"
+  "phantom_integration_test"
+  "phantom_integration_test.pdb"
+  "phantom_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_topology_property_test.dir/random_topology_property_test.cc.o"
+  "CMakeFiles/random_topology_property_test.dir/random_topology_property_test.cc.o.d"
+  "random_topology_property_test"
+  "random_topology_property_test.pdb"
+  "random_topology_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_topology_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

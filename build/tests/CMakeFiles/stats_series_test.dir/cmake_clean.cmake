@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_series_test.dir/stats_series_test.cc.o"
+  "CMakeFiles/stats_series_test.dir/stats_series_test.cc.o.d"
+  "stats_series_test"
+  "stats_series_test.pdb"
+  "stats_series_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

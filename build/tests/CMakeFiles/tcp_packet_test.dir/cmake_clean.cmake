@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_packet_test.dir/tcp_packet_test.cc.o"
+  "CMakeFiles/tcp_packet_test.dir/tcp_packet_test.cc.o.d"
+  "tcp_packet_test"
+  "tcp_packet_test.pdb"
+  "tcp_packet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_packet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_phantom_integration_test.dir/tcp_phantom_integration_test.cc.o"
+  "CMakeFiles/tcp_phantom_integration_test.dir/tcp_phantom_integration_test.cc.o.d"
+  "tcp_phantom_integration_test"
+  "tcp_phantom_integration_test.pdb"
+  "tcp_phantom_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_phantom_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

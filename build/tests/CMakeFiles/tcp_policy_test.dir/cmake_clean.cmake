@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_policy_test.dir/tcp_policy_test.cc.o"
+  "CMakeFiles/tcp_policy_test.dir/tcp_policy_test.cc.o.d"
+  "tcp_policy_test"
+  "tcp_policy_test.pdb"
+  "tcp_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

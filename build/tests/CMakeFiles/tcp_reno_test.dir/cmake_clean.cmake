@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_reno_test.dir/tcp_reno_test.cc.o"
+  "CMakeFiles/tcp_reno_test.dir/tcp_reno_test.cc.o.d"
+  "tcp_reno_test"
+  "tcp_reno_test.pdb"
+  "tcp_reno_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_reno_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

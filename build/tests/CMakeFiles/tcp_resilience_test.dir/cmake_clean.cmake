@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_resilience_test.dir/tcp_resilience_test.cc.o"
+  "CMakeFiles/tcp_resilience_test.dir/tcp_resilience_test.cc.o.d"
+  "tcp_resilience_test"
+  "tcp_resilience_test.pdb"
+  "tcp_resilience_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_resilience_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

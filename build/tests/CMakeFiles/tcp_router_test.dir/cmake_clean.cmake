@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_router_test.dir/tcp_router_test.cc.o"
+  "CMakeFiles/tcp_router_test.dir/tcp_router_test.cc.o.d"
+  "tcp_router_test"
+  "tcp_router_test.pdb"
+  "tcp_router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_network_test.dir/topo_network_test.cc.o"
+  "CMakeFiles/topo_network_test.dir/topo_network_test.cc.o.d"
+  "topo_network_test"
+  "topo_network_test.pdb"
+  "topo_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
