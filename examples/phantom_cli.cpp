@@ -4,12 +4,18 @@
 //   phantom_cli [--scenario=bottleneck|parking|onoff|tcp]
 //               [--algorithm=phantom|eprca|aprc|capc|erica]
 //               [--sessions=N] [--rate-mbps=R] [--duration-ms=D]
-//               [--seed=S] [--csv=PREFIX]
+//               [--seed=S] [--csv=PREFIX] [--fault-plan=SPEC]
 //
 // Runs the scenario, prints the per-session goodput table, fairness
 // index and queue statistics, and (with --csv) writes the fair-share
 // and queue time series for external plotting. Exit code 0 on success,
 // 2 on bad arguments.
+//
+// --fault-plan injects scripted faults (ABR scenarios only) and arms the
+// invariant monitor; the report then also carries the fault log, any
+// invariant violations, and the bottleneck's time-to-reconvergence.
+// SPEC grammar (see fault/fault_plan.h): events split on ';', e.g.
+//   --fault-plan="outage:trunk0:250:50;restart:trunk0:450"
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,8 +25,11 @@
 #include "exp/factories.h"
 #include "exp/probes.h"
 #include "exp/report.h"
+#include "fault/fault_injector.h"
+#include "fault/invariant_monitor.h"
 #include "sim/simulator.h"
 #include "stats/fairness.h"
+#include "stats/recovery.h"
 #include "tcp/phantom_policies.h"
 #include "tcp/tcp_network.h"
 #include "topo/abr_network.h"
@@ -39,7 +48,8 @@ struct Args {
   double rate_mbps = 150.0;
   double duration_ms = 600.0;
   std::uint64_t seed = 1;
-  std::string csv;  // prefix; empty = no dump
+  std::string csv;         // prefix; empty = no dump
+  std::string fault_plan;  // fault::FaultPlan::parse spec; empty = none
 };
 
 std::optional<Args> parse(int argc, char** argv) {
@@ -62,6 +72,7 @@ std::optional<Args> parse(int argc, char** argv) {
       else if (key == "duration-ms") a.duration_ms = std::stod(val);
       else if (key == "seed") a.seed = std::stoull(val);
       else if (key == "csv") a.csv = val;
+      else if (key == "fault-plan") a.fault_plan = val;
       else {
         std::fprintf(stderr, "unknown option: --%s\n", key.c_str());
         return std::nullopt;
@@ -88,9 +99,50 @@ std::optional<exp::Algorithm> algorithm_of(const std::string& name) {
   return std::nullopt;
 }
 
+/// Fault machinery armed when --fault-plan is given: the injector, the
+/// invariant monitor, and a fair-share sampler on the bottleneck (the
+/// trace time-to-reconvergence is computed from).
+struct FaultHarness {
+  FaultHarness(sim::Simulator& sim, topo::AbrNetwork& net,
+               const atm::OutputPort& bottleneck, const fault::FaultPlan& p)
+      : injector{sim, net},
+        monitor{sim, net},
+        share{sim, bottleneck.controller()},
+        plan{p} {
+    injector.apply(plan);
+  }
+
+  fault::FaultInjector injector;
+  fault::InvariantMonitor monitor;
+  exp::FairShareSampler share;
+  fault::FaultPlan plan;
+};
+
+void report_faults(const FaultHarness& h) {
+  exp::print_fault_log(h.injector.log());
+  exp::print_violations(h.monitor);
+  // Reconvergence: back to the pre-fault operating point (mean fair
+  // share over the half-window before the first fault) within 10%.
+  const sim::Time first = h.plan.first_fault_time();
+  const double target =
+      stats::mean_in_window(h.share.trace().samples(), first * 0.5, first);
+  const auto latency =
+      stats::time_to_reconverge(h.share.trace().samples(), first, target);
+  if (latency) {
+    std::printf(
+        "reconverged to pre-fault share (%.2f Mb/s +/- 10%%) %.3f ms after "
+        "first fault\n",
+        target * 1e-6, latency->milliseconds());
+  } else {
+    std::printf("did NOT reconverge to pre-fault share (%.2f Mb/s +/- 10%%)\n",
+                target * 1e-6);
+  }
+}
+
 void report_abr(sim::Simulator& sim, topo::AbrNetwork& net,
                 atm::OutputPort& bottleneck, const Args& args,
-                const sim::Trace& queue_trace) {
+                const sim::Trace& queue_trace,
+                const FaultHarness* faults = nullptr) {
   exp::GoodputProbe probe{sim, net};
   const Time horizon = Time::from_seconds(args.duration_ms / 1e3);
   sim.run_until(horizon * 0.6);
@@ -110,15 +162,46 @@ void report_abr(sim::Simulator& sim, topo::AbrNetwork& net,
       bottleneck.controller().fair_share().mbits_per_sec(),
       bottleneck.queue_length(), bottleneck.max_queue_length(),
       static_cast<unsigned long long>(bottleneck.cells_dropped()));
+  if (faults != nullptr) {
+    std::printf("cells lost on links: %llu\n",
+                static_cast<unsigned long long>(net.total_cells_lost()));
+    report_faults(*faults);
+  }
   if (!args.csv.empty()) {
     exp::write_series_csv(args.csv + "_queue.csv", queue_trace.samples());
     std::printf("wrote %s_queue.csv\n", args.csv.c_str());
+    if (faults != nullptr) {
+      exp::write_series_csv(args.csv + "_share.csv",
+                            faults->share.trace().samples(), 1e-6);
+      std::printf("wrote %s_share.csv\n", args.csv.c_str());
+    }
   }
 }
 
 int run_abr_scenario(const Args& args, exp::Algorithm alg) {
   sim::Simulator sim{args.seed};
   topo::AbrNetwork net{sim, exp::make_factory(alg)};
+
+  std::optional<fault::FaultPlan> plan;
+  if (!args.fault_plan.empty()) {
+    try {
+      plan = fault::FaultPlan::parse(args.fault_plan);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  const auto arm_faults = [&](std::optional<FaultHarness>& harness,
+                              const atm::OutputPort& bottleneck) {
+    if (!plan) return true;
+    try {
+      harness.emplace(sim, net, bottleneck, *plan);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return false;
+    }
+    return true;
+  };
 
   if (args.scenario == "bottleneck" || args.scenario == "onoff") {
     const auto sw = net.add_switch("sw");
@@ -134,11 +217,14 @@ int run_abr_scenario(const Args& args, exp::Algorithm alg) {
       driver.emplace(sim, net.source(static_cast<std::size_t>(args.sessions) - 1), opt);
     }
     exp::QueueSampler queue{sim, net.dest_port(dest)};
+    std::optional<FaultHarness> faults;
+    if (!arm_faults(faults, net.dest_port(dest))) return 2;
     exp::print_header("cli:" + args.scenario,
                       exp::to_string(alg) + ", " +
                           std::to_string(args.sessions) + " sessions @ " +
                           exp::Table::num(args.rate_mbps, 0) + " Mb/s");
-    report_abr(sim, net, net.dest_port(dest), args, queue.trace());
+    report_abr(sim, net, net.dest_port(dest), args, queue.trace(),
+               faults ? &*faults : nullptr);
     return 0;
   }
 
@@ -168,9 +254,12 @@ int run_abr_scenario(const Args& args, exp::Algorithm alg) {
     }
     net.start_all(Time::zero(), Time::zero());
     exp::QueueSampler queue{sim, net.trunk_port(trunks[0])};
+    std::optional<FaultHarness> faults;
+    if (!arm_faults(faults, net.trunk_port(trunks[0]))) return 2;
     exp::print_header("cli:parking", exp::to_string(alg) + ", " +
                                          std::to_string(hops) + " hops");
-    report_abr(sim, net, net.trunk_port(trunks[0]), args, queue.trace());
+    report_abr(sim, net, net.trunk_port(trunks[0]), args, queue.trace(),
+               faults ? &*faults : nullptr);
     return 0;
   }
 
@@ -233,7 +322,13 @@ int run_tcp_scenario(const Args& args) {
 int main(int argc, char** argv) {
   const auto args = parse(argc, argv);
   if (!args) return 2;
-  if (args->scenario == "tcp") return run_tcp_scenario(*args);
+  if (args->scenario == "tcp") {
+    if (!args->fault_plan.empty()) {
+      std::fprintf(stderr, "--fault-plan requires an ABR scenario\n");
+      return 2;
+    }
+    return run_tcp_scenario(*args);
+  }
   const auto alg = algorithm_of(args->algorithm);
   if (!alg) {
     std::fprintf(stderr, "unknown algorithm: %s\n", args->algorithm.c_str());

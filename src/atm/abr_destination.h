@@ -37,6 +37,10 @@ class AbrDestination final : public CellSink {
   }
   [[nodiscard]] std::uint64_t total_data_cells() const { return total_data_; }
   [[nodiscard]] std::uint64_t rm_cells_turned() const { return rm_turned_; }
+  /// Reverse access link carrying turned-around RM cells back into the
+  /// network (shared fault state, see LinkState).
+  [[nodiscard]] Link& link() { return link_; }
+  [[nodiscard]] const Link& link() const { return link_; }
 
   /// End-to-end delay distribution (ms) of received data cells; the
   /// paper's "moderate queue" claim, expressed in time. Bins cover

@@ -50,6 +50,11 @@ class AbrSource final : public CellSink {
 
   [[nodiscard]] int vc() const { return vc_; }
   [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] const AbrParams& params() const { return params_; }
+  /// Access link into the network (shared fault state, see LinkState).
+  [[nodiscard]] Link& link() { return link_; }
+  [[nodiscard]] const Link& link() const { return link_; }
   [[nodiscard]] sim::Rate acr() const { return acr_; }
   /// The rate cells actually leave at: min(ACR, demand).
   [[nodiscard]] sim::Rate effective_rate() const {

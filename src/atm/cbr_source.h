@@ -31,6 +31,9 @@ class CbrSource {
   [[nodiscard]] int vc() const { return vc_; }
   [[nodiscard]] sim::Rate rate() const { return rate_; }
   [[nodiscard]] std::uint64_t cells_sent() const { return sent_; }
+  /// Access link into the network (shared fault state, see LinkState).
+  [[nodiscard]] Link& link() { return link_; }
+  [[nodiscard]] const Link& link() const { return link_; }
 
  private:
   void send_next();

@@ -50,6 +50,13 @@ class OutputPort {
   [[nodiscard]] std::uint64_t cells_transmitted() const { return transmitted_; }
   [[nodiscard]] std::uint64_t cells_accepted() const { return accepted_; }
   [[nodiscard]] sim::Rate rate() const { return rate_; }
+  [[nodiscard]] std::size_t queue_limit() const { return queue_limit_; }
+
+  /// The link this port transmits onto — the fault subsystem drives
+  /// outages/loss through its shared state, and the invariant monitor
+  /// reads its aggregate counters.
+  [[nodiscard]] Link& link() { return link_; }
+  [[nodiscard]] const Link& link() const { return link_; }
 
   /// Never null; NullController when the port runs no flow control.
   [[nodiscard]] PortController& controller() { return *controller_; }

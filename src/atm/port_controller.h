@@ -47,6 +47,14 @@ class PortController {
   /// `ci`). `queue_len` is the forward port's current queue length.
   virtual void on_backward_rm(Cell& cell, std::size_t queue_len) = 0;
 
+  /// Simulated controller restart: wipe every learned variable back to
+  /// its boot value (the fault subsystem's port-controller-restart
+  /// fault). Because the algorithms in the paper's constant-space class
+  /// keep only O(1) measured state, a restarted controller must relearn
+  /// the fair share from measurements alone — the recovery claim the
+  /// resilience benches quantify. Default: stateless controller, no-op.
+  virtual void reset() {}
+
   /// Whether a data cell entering the queue should have EFCI set.
   [[nodiscard]] virtual bool mark_efci(std::size_t queue_len) const {
     (void)queue_len;

@@ -28,6 +28,14 @@ void AprcController::on_growth_tick() {
   sim_->schedule(config_.growth_interval, [this] { on_growth_tick(); });
 }
 
+void AprcController::reset() {
+  macr_ = std::min(config_.initial_macr.bits_per_sec(), link_bps_);
+  last_queue_len_ = 0;
+  current_queue_len_ = 0;
+  congested_ = false;
+  macr_trace_.record(sim_->now(), macr_);
+}
+
 void AprcController::on_forward_rm(atm::Cell& cell, std::size_t) {
   macr_ += config_.averaging * (cell.ccr.bits_per_sec() - macr_);
   macr_ = std::clamp(macr_, 0.0, link_bps_);

@@ -53,6 +53,7 @@ class AprcController final : public atm::PortController {
   void on_cell_accepted(const atm::Cell& cell, std::size_t queue_len) override;
   void on_forward_rm(atm::Cell& cell, std::size_t queue_len) override;
   void on_backward_rm(atm::Cell& cell, std::size_t queue_len) override;
+  void reset() override;
 
   [[nodiscard]] sim::Rate fair_share() const override {
     return sim::Rate::bps(macr_);

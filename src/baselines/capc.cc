@@ -43,6 +43,13 @@ void CapcController::on_interval() {
   sim_->schedule(config_.interval, [this] { on_interval(); });
 }
 
+void CapcController::reset() {
+  ers_ = std::clamp(config_.initial_ers.bits_per_sec(),
+                    config_.min_ers.bits_per_sec(), target_bps_);
+  arrived_cells_ = 0;
+  ers_trace_.record(sim_->now(), ers_);
+}
+
 void CapcController::on_backward_rm(atm::Cell& cell, std::size_t queue_len) {
   cell.er = std::min(cell.er, sim::Rate::bps(ers_));
   if (queue_len > config_.ci_queue_threshold) cell.ci = true;

@@ -61,6 +61,7 @@ class CapcController final : public atm::PortController {
   void on_cell_accepted(const atm::Cell& cell, std::size_t queue_len) override;
   void on_cell_dropped(const atm::Cell& cell) override;
   void on_backward_rm(atm::Cell& cell, std::size_t queue_len) override;
+  void reset() override;
 
   [[nodiscard]] sim::Rate fair_share() const override {
     return sim::Rate::bps(ers_);

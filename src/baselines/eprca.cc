@@ -23,6 +23,11 @@ void EprcaController::on_forward_rm(atm::Cell& cell, std::size_t) {
   macr_trace_.record(sim_->now(), macr_);
 }
 
+void EprcaController::reset() {
+  macr_ = std::min(config_.initial_macr.bits_per_sec(), link_bps_);
+  macr_trace_.record(sim_->now(), macr_);
+}
+
 void EprcaController::on_backward_rm(atm::Cell& cell, std::size_t queue_len) {
   if (queue_len > config_.very_congested_threshold) {
     cell.er = std::min(cell.er, sim::Rate::bps(config_.mrf * macr_));

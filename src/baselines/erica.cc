@@ -33,6 +33,17 @@ void EricaController::on_forward_rm(atm::Cell& cell, std::size_t) {
   vc.last_seen_interval = interval_index_;
 }
 
+void EricaController::reset() {
+  // ERICA's per-VC table is exactly the state the constant-space class
+  // avoids; a restart here loses every learned CCR, not just a filter.
+  vcs_.clear();
+  fair_share_ =
+      std::min(config_.initial_fair_share.bits_per_sec(), target_bps_);
+  load_factor_ = 0.0;
+  arrived_cells_ = 0;
+  trace_.record(sim_->now(), fair_share_);
+}
+
 void EricaController::on_interval() {
   const double input_bps = static_cast<double>(arrived_cells_) *
                            static_cast<double>(atm::kCellBits) /

@@ -52,6 +52,7 @@ class EricaController final : public atm::PortController {
   void on_cell_dropped(const atm::Cell& cell) override;
   void on_forward_rm(atm::Cell& cell, std::size_t queue_len) override;
   void on_backward_rm(atm::Cell& cell, std::size_t queue_len) override;
+  void reset() override;
 
   [[nodiscard]] sim::Rate fair_share() const override {
     return sim::Rate::bps(fair_share_);

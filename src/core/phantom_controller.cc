@@ -40,6 +40,16 @@ void PhantomController::on_interval() {
   sim_->schedule(config_.interval, [this] { on_interval(); });
 }
 
+void PhantomController::reset() {
+  // Warm restart: MACR/DEV wiped, interval timer keeps ticking (the
+  // restarted controller immediately resumes measuring). The trace keeps
+  // its history so the restart transient is visible in the figures.
+  filter_.reset();
+  arrived_cells_ = 0;
+  over_subscribed_ = false;
+  macr_trace_.record(sim_->now(), filter_.macr().bits_per_sec());
+}
+
 void PhantomController::on_backward_rm(atm::Cell& cell, std::size_t) {
   if (config_.explicit_rate_mode) {
     cell.er = std::min(cell.er, filter_.macr());

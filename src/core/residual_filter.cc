@@ -20,6 +20,12 @@ ResidualFilter::ResidualFilter(sim::Rate link_capacity,
       macr_{std::clamp(config.initial_macr.bits_per_sec(), floor_, target_)} {
   config.validate();
   assert(link_capacity.bits_per_sec() > 0.0);
+  initial_macr_ = macr_;
+}
+
+void ResidualFilter::reset() {
+  macr_ = initial_macr_;
+  dev_ = 0.0;
 }
 
 sim::Rate ResidualFilter::update(sim::Rate offered) {

@@ -30,6 +30,12 @@ class ResidualFilter {
   /// rate) and advances the filter. Returns the new MACR.
   sim::Rate update(sim::Rate offered);
 
+  /// Forgets everything measured: MACR back to its initial value, DEV to
+  /// zero — the whole per-port state, which is the point of the paper's
+  /// constant-space claim (a restarted controller recovers from scratch
+  /// in a handful of measurement intervals).
+  void reset();
+
   [[nodiscard]] sim::Rate macr() const { return sim::Rate::bps(macr_); }
   [[nodiscard]] double deviation_bps() const { return dev_; }
   [[nodiscard]] sim::Rate target() const { return sim::Rate::bps(target_); }
@@ -45,6 +51,7 @@ class ResidualFilter {
 
   double macr_;
   double dev_ = 0.0;
+  double initial_macr_ = 0.0;
 };
 
 }  // namespace phantom::core

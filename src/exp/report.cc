@@ -80,6 +80,33 @@ bool write_series_csv(const std::string& path,
   return true;
 }
 
+void print_fault_log(std::span<const fault::AppliedFault> log) {
+  std::printf("-- fault log --\n");
+  if (log.empty()) {
+    std::printf("   (none)\n");
+    return;
+  }
+  for (const fault::AppliedFault& f : log) {
+    std::printf("  t=%9.3fms  %s\n", f.time.milliseconds(),
+                f.description.c_str());
+  }
+}
+
+void print_violations(const fault::InvariantMonitor& monitor) {
+  const auto& v = monitor.violations();
+  if (v.empty()) {
+    std::printf("-- invariants: OK (%llu checks, 0 violations) --\n",
+                static_cast<unsigned long long>(monitor.checks_run()));
+    return;
+  }
+  std::printf("-- invariants: %zu VIOLATION(S) in %llu checks --\n", v.size(),
+              static_cast<unsigned long long>(monitor.checks_run()));
+  for (const fault::InvariantViolation& iv : v) {
+    std::printf("  t=%9.3fms  [%s] %s\n", iv.time.milliseconds(),
+                iv.invariant.c_str(), iv.detail.c_str());
+  }
+}
+
 void maybe_dump_series(const std::string& experiment,
                        const std::string& series,
                        std::span<const sim::Sample> samples,

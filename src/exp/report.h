@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.h"
+#include "fault/invariant_monitor.h"
 #include "sim/trace.h"
 
 namespace phantom::exp {
@@ -40,6 +42,15 @@ class Table {
 bool write_series_csv(const std::string& path,
                       std::span<const sim::Sample> samples,
                       double value_scale = 1.0);
+
+/// Prints the chronological log of fault transitions an injector applied
+/// ("(none)" when the run was fault-free) — resilience runs record their
+/// inputs next to their outputs so the report is self-describing.
+void print_fault_log(std::span<const fault::AppliedFault> log);
+
+/// Prints invariant-monitor results: a one-line all-clear with the check
+/// count, or every violation with its timestamp and detail.
+void print_violations(const fault::InvariantMonitor& monitor);
 
 /// Convenience used by the bench binaries: when the environment variable
 /// PHANTOM_TRACE_DIR is set, dump the series to

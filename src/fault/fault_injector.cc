@@ -1,0 +1,207 @@
+#include "fault/fault_injector.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace phantom::fault {
+namespace {
+
+void check_index(std::size_t index, std::size_t count, const char* what) {
+  if (index >= count) {
+    throw std::out_of_range{"fault plan: no such " + std::string{what} + " " +
+                            std::to_string(index) + " (network has " +
+                            std::to_string(count) + ")"};
+  }
+}
+
+}  // namespace
+
+std::vector<std::shared_ptr<atm::LinkState>> FaultInjector::links_of(
+    FaultTarget t) const {
+  switch (t.kind) {
+    case FaultTarget::Kind::kTrunk:
+      check_index(t.index, net_->num_trunks(), "trunk");
+      return {net_->trunk_port(t.index).link().state(),
+              net_->trunk_reverse_port(t.index).link().state()};
+    case FaultTarget::Kind::kDest:
+      check_index(t.index, net_->num_destinations(), "dest");
+      return {net_->dest_port(t.index).link().state()};
+    case FaultTarget::Kind::kSession:
+      throw std::invalid_argument{
+          "fault plan: link fault cannot target a session"};
+  }
+  return {};
+}
+
+atm::PortController& FaultInjector::controller_of(FaultTarget t) const {
+  switch (t.kind) {
+    case FaultTarget::Kind::kTrunk:
+      check_index(t.index, net_->num_trunks(), "trunk");
+      return net_->trunk_port(t.index).controller();
+    case FaultTarget::Kind::kDest:
+      check_index(t.index, net_->num_destinations(), "dest");
+      return net_->dest_port(t.index).controller();
+    case FaultTarget::Kind::kSession:
+      throw std::invalid_argument{"fault plan: restart cannot target a session"};
+  }
+  throw std::invalid_argument{"fault plan: bad target kind"};
+}
+
+void FaultInjector::validate(const FaultEvent& e) const {
+  using K = FaultEvent::Kind;
+  switch (e.kind) {
+    case K::kOutage:
+    case K::kFlap:
+    case K::kBurst:
+    case K::kRmFault:
+    case K::kRestart: {
+      // Resolve the target now: .at() throws std::out_of_range on a bad
+      // index, before anything was scheduled.
+      if (e.kind == K::kRestart) {
+        (void)controller_of(e.target);
+      } else {
+        (void)links_of(e.target);
+      }
+      if (e.duration.is_negative()) {
+        throw std::invalid_argument{"fault plan: negative duration"};
+      }
+      break;
+    }
+    case K::kLeave:
+    case K::kJoin:
+      check_index(e.target.index, net_->num_sessions(), "session");
+      break;
+    case K::kCustom:
+      if (!e.action) throw std::invalid_argument{"custom fault: null action"};
+      break;
+  }
+}
+
+void FaultInjector::record(const std::string& description) {
+  log_.push_back(AppliedFault{sim_->now(), description});
+}
+
+void FaultInjector::schedule_event(const FaultEvent& e) {
+  using K = FaultEvent::Kind;
+  switch (e.kind) {
+    case K::kOutage: {
+      auto links = links_of(e.target);
+      const std::string name = e.target.to_string();
+      sim_->schedule_at(e.at, [this, links, name] {
+        for (const auto& st : links) st->down = true;
+        record("outage begins on " + name);
+      });
+      sim_->schedule_at(e.at + e.duration, [this, links, name] {
+        for (const auto& st : links) st->down = false;
+        record("outage ends on " + name + " (restored)");
+      });
+      break;
+    }
+    case K::kFlap: {
+      auto links = links_of(e.target);
+      const std::string name = e.target.to_string();
+      sim::Time t = e.at;
+      for (int c = 0; c < e.cycles; ++c) {
+        sim_->schedule_at(t, [this, links, name, c] {
+          for (const auto& st : links) st->down = true;
+          record("flap cycle " + std::to_string(c + 1) + ": " + name +
+                 " down");
+        });
+        sim_->schedule_at(t + e.down_period, [this, links, name, c] {
+          for (const auto& st : links) st->down = false;
+          record("flap cycle " + std::to_string(c + 1) + ": " + name + " up");
+        });
+        t += e.down_period + e.up_period;
+      }
+      break;
+    }
+    case K::kBurst: {
+      auto links = links_of(e.target);
+      const std::string name = e.target.to_string();
+      const double p_gb = e.p_good_bad, p_bg = e.p_bad_good, lb = e.loss_bad;
+      sim_->schedule_at(e.at, [this, links, name, p_gb, p_bg, lb] {
+        for (const auto& st : links) {
+          st->burst_enabled = true;
+          st->burst_bad = false;  // every burst window starts Good
+          st->burst_p_good_bad = p_gb;
+          st->burst_p_bad_good = p_bg;
+          st->burst_loss_good = 0.0;
+          st->burst_loss_bad = lb;
+        }
+        record("burst loss begins on " + name);
+      });
+      sim_->schedule_at(e.at + e.duration, [this, links, name] {
+        for (const auto& st : links) st->burst_enabled = false;
+        record("burst loss ends on " + name);
+      });
+      break;
+    }
+    case K::kRmFault: {
+      auto links = links_of(e.target);
+      const std::string name = e.target.to_string();
+      const double drop = e.rm_loss, corrupt = e.rm_corrupt;
+      sim_->schedule_at(e.at, [this, links, name, drop, corrupt] {
+        for (const auto& st : links) {
+          st->rm_loss = drop;
+          st->rm_corrupt = corrupt;
+        }
+        record("RM fault begins on " + name);
+      });
+      sim_->schedule_at(e.at + e.duration, [this, links, name] {
+        for (const auto& st : links) {
+          st->rm_loss = 0.0;
+          st->rm_corrupt = 0.0;
+        }
+        record("RM fault ends on " + name);
+      });
+      break;
+    }
+    case K::kRestart: {
+      atm::PortController* ctl = &controller_of(e.target);
+      const std::string name = e.target.to_string();
+      sim_->schedule_at(e.at, [this, ctl, name] {
+        ctl->reset();
+        record("controller restart on " + name + " (" + ctl->name() +
+               " state wiped)");
+      });
+      break;
+    }
+    case K::kLeave: {
+      const std::size_t s = e.target.index;
+      sim_->schedule_at(e.at, [this, s] {
+        net_->source(s).set_active(false);
+        record("session " + std::to_string(s) + " leaves");
+      });
+      break;
+    }
+    case K::kJoin: {
+      const std::size_t s = e.target.index;
+      sim_->schedule_at(e.at, [this, s] {
+        atm::AbrSource& src = net_->source(s);
+        if (src.started()) {
+          src.set_active(true);
+        } else {
+          src.start(sim_->now());
+        }
+        record("session " + std::to_string(s) + " joins");
+      });
+      break;
+    }
+    case K::kCustom: {
+      auto action = e.action;
+      const std::string label = e.label.empty() ? "custom" : e.label;
+      sim_->schedule_at(e.at, [this, action = std::move(action), label] {
+        action();
+        record(label);
+      });
+      break;
+    }
+  }
+}
+
+void FaultInjector::apply(const FaultPlan& plan) {
+  for (const FaultEvent& e : plan.events) validate(e);
+  for (const FaultEvent& e : plan.events) schedule_event(e);
+}
+
+}  // namespace phantom::fault

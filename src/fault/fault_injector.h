@@ -1,0 +1,69 @@
+// Executes a FaultPlan against a running ABR network.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atm/link.h"
+#include "fault/fault_plan.h"
+#include "sim/simulator.h"
+#include "topo/abr_network.h"
+
+namespace phantom::fault {
+
+/// One fault transition that actually happened, for the experiment
+/// report (faults are experiment inputs; the report records them next to
+/// the measured outputs so a run is self-describing).
+struct AppliedFault {
+  sim::Time time;
+  std::string description;
+};
+
+/// Resolves a FaultPlan's targets against a topo::AbrNetwork and
+/// schedules every fault transition on the simulator clock.
+///
+/// Target semantics:
+///  * trunk  — both directions of the duplex trunk (outage/burst/RM
+///             faults sever data *and* the returning RM feedback);
+///             restart hits the forward port's controller.
+///  * dest   — the link feeding the destination endpoint; restart hits
+///             the destination port's controller.
+///  * session — ABR source churn (leave deactivates; join re-activates,
+///             or starts a source that was never started).
+///
+/// The injector must outlive the run: the scheduled events call back
+/// into it to record the applied-fault log.
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& sim, topo::AbrNetwork& net)
+      : sim_{&sim}, net_{&net} {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every event in `plan`. Validates all targets up front and
+  /// throws std::out_of_range before scheduling anything if one is bad.
+  /// Events in the simulator's past throw std::logic_error (the
+  /// hardened scheduler refuses past-time scheduling).
+  void apply(const FaultPlan& plan);
+
+  /// Chronological log of the transitions that have fired so far.
+  [[nodiscard]] const std::vector<AppliedFault>& log() const { return log_; }
+
+ private:
+  /// Link-state blocks a link-level fault acts on (1 for dest targets,
+  /// 2 for trunks — forward + reverse).
+  [[nodiscard]] std::vector<std::shared_ptr<atm::LinkState>> links_of(
+      FaultTarget t) const;
+  [[nodiscard]] atm::PortController& controller_of(FaultTarget t) const;
+  void validate(const FaultEvent& e) const;
+  void schedule_event(const FaultEvent& e);
+  void record(const std::string& description);
+
+  sim::Simulator* sim_;
+  topo::AbrNetwork* net_;
+  std::vector<AppliedFault> log_;
+};
+
+}  // namespace phantom::fault

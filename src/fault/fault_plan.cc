@@ -1,0 +1,299 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace phantom::fault {
+namespace {
+
+[[nodiscard]] std::string kind_name(FaultEvent::Kind k) {
+  switch (k) {
+    case FaultEvent::Kind::kOutage:  return "outage";
+    case FaultEvent::Kind::kFlap:    return "flap";
+    case FaultEvent::Kind::kBurst:   return "burst";
+    case FaultEvent::Kind::kRmFault: return "rmloss";
+    case FaultEvent::Kind::kRestart: return "restart";
+    case FaultEvent::Kind::kLeave:   return "leave";
+    case FaultEvent::Kind::kJoin:    return "join";
+    case FaultEvent::Kind::kCustom:  return "custom";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in{s};
+  while (std::getline(in, item, sep)) out.push_back(item);
+  return out;
+}
+
+[[nodiscard]] double parse_number(const std::string& field,
+                                  const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(field, &used);
+    if (used != field.size()) throw std::invalid_argument{""};
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument{"fault plan: bad " + what + " '" + field + "'"};
+  }
+}
+
+[[nodiscard]] sim::Time parse_ms(const std::string& field,
+                                 const std::string& what) {
+  const double ms = parse_number(field, what);
+  if (ms < 0) throw std::invalid_argument{"fault plan: negative " + what};
+  return sim::Time::from_seconds(ms / 1e3);
+}
+
+[[nodiscard]] double parse_probability(const std::string& field,
+                                       const std::string& what) {
+  const double p = parse_number(field, what);
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument{"fault plan: " + what + " must be in [0,1]"};
+  }
+  return p;
+}
+
+[[nodiscard]] FaultTarget parse_target(const std::string& field) {
+  const auto make = [&](FaultTarget::Kind kind, std::size_t prefix_len) {
+    const std::string digits = field.substr(prefix_len);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      throw std::invalid_argument{"fault plan: bad target index in '" + field +
+                                  "'"};
+    }
+    return FaultTarget{kind, static_cast<std::size_t>(std::stoul(digits))};
+  };
+  if (field.rfind("trunk", 0) == 0) return make(FaultTarget::Kind::kTrunk, 5);
+  if (field.rfind("dest", 0) == 0) return make(FaultTarget::Kind::kDest, 4);
+  throw std::invalid_argument{
+      "fault plan: unknown target '" + field + "' (want trunkN or destN)"};
+}
+
+[[nodiscard]] std::size_t parse_session(const std::string& field) {
+  if (field.empty() ||
+      field.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument{"fault plan: bad session index '" + field +
+                                "'"};
+  }
+  return static_cast<std::size_t>(std::stoul(field));
+}
+
+void expect_fields(const std::vector<std::string>& f, std::size_t lo,
+                   std::size_t hi, const std::string& kind) {
+  if (f.size() < lo || f.size() > hi) {
+    throw std::invalid_argument{"fault plan: wrong field count for '" + kind +
+                                "' event"};
+  }
+}
+
+}  // namespace
+
+std::string FaultTarget::to_string() const {
+  switch (kind) {
+    case Kind::kTrunk: return "trunk" + std::to_string(index);
+    case Kind::kDest: return "dest" + std::to_string(index);
+    case Kind::kSession: return "session" + std::to_string(index);
+  }
+  return "?";
+}
+
+std::string FaultEvent::describe() const {
+  std::ostringstream out;
+  out << kind_name(kind);
+  if (kind == Kind::kCustom) {
+    if (!label.empty()) out << ':' << label;
+  } else {
+    out << ':' << target.to_string();
+  }
+  out << " @" << at.to_string();
+  switch (kind) {
+    case Kind::kOutage:
+    case Kind::kBurst:
+    case Kind::kRmFault:
+      out << " for " << duration.to_string();
+      break;
+    case Kind::kFlap:
+      out << " x" << cycles << " (" << down_period.to_string() << " down / "
+          << up_period.to_string() << " up)";
+      break;
+    default:
+      break;
+  }
+  return out.str();
+}
+
+FaultPlan& FaultPlan::outage(FaultTarget t, sim::Time at, sim::Time duration) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kOutage;
+  e.target = t;
+  e.at = at;
+  e.duration = duration;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::flap(FaultTarget t, sim::Time at, int cycles,
+                           sim::Time down, sim::Time up) {
+  if (cycles < 1) throw std::invalid_argument{"flap: cycles must be >= 1"};
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kFlap;
+  e.target = t;
+  e.at = at;
+  e.cycles = cycles;
+  e.down_period = down;
+  e.up_period = up;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::burst(FaultTarget t, sim::Time at, sim::Time duration,
+                            double p_good_bad, double p_bad_good,
+                            double loss_bad) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kBurst;
+  e.target = t;
+  e.at = at;
+  e.duration = duration;
+  e.p_good_bad = p_good_bad;
+  e.p_bad_good = p_bad_good;
+  e.loss_bad = loss_bad;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::rm_fault(FaultTarget t, sim::Time at, sim::Time duration,
+                               double drop_probability,
+                               double corrupt_probability) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kRmFault;
+  e.target = t;
+  e.at = at;
+  e.duration = duration;
+  e.rm_loss = drop_probability;
+  e.rm_corrupt = corrupt_probability;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart(FaultTarget t, sim::Time at) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kRestart;
+  e.target = t;
+  e.at = at;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::leave(std::size_t session_index, sim::Time at) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kLeave;
+  e.target = session(session_index);
+  e.at = at;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::join(std::size_t session_index, sim::Time at) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kJoin;
+  e.target = session(session_index);
+  e.at = at;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::custom(sim::Time at, std::function<void()> action,
+                             std::string label) {
+  if (!action) throw std::invalid_argument{"custom fault: null action"};
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kCustom;
+  e.at = at;
+  e.action = std::move(action);
+  e.label = std::move(label);
+  events.push_back(std::move(e));
+  return *this;
+}
+
+sim::Time FaultPlan::first_fault_time() const {
+  sim::Time first = sim::Time::max();
+  for (const FaultEvent& e : events) first = std::min(first, e.at);
+  return events.empty() ? sim::Time::zero() : first;
+}
+
+sim::Time FaultPlan::last_recovery_time() const {
+  sim::Time last = sim::Time::zero();
+  for (const FaultEvent& e : events) {
+    sim::Time end = e.at;
+    switch (e.kind) {
+      case FaultEvent::Kind::kOutage:
+      case FaultEvent::Kind::kBurst:
+      case FaultEvent::Kind::kRmFault:
+        end = e.at + e.duration;
+        break;
+      case FaultEvent::Kind::kFlap:
+        end = e.at + (e.down_period + e.up_period) * e.cycles;
+        break;
+      default:
+        break;
+    }
+    last = std::max(last, end);
+  }
+  return last;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& item : split(spec, ';')) {
+    if (item.empty()) continue;
+    const auto f = split(item, ':');
+    const std::string& kind = f[0];
+    if (kind == "outage") {
+      expect_fields(f, 4, 4, kind);
+      plan.outage(parse_target(f[1]), parse_ms(f[2], "time"),
+                  parse_ms(f[3], "duration"));
+    } else if (kind == "flap") {
+      expect_fields(f, 6, 6, kind);
+      const double cycles = parse_number(f[3], "cycle count");
+      if (cycles < 1 || cycles != static_cast<int>(cycles)) {
+        throw std::invalid_argument{"fault plan: bad cycle count '" + f[3] +
+                                    "'"};
+      }
+      plan.flap(parse_target(f[1]), parse_ms(f[2], "time"),
+                static_cast<int>(cycles), parse_ms(f[4], "down period"),
+                parse_ms(f[5], "up period"));
+    } else if (kind == "burst") {
+      expect_fields(f, 7, 7, kind);
+      plan.burst(parse_target(f[1]), parse_ms(f[2], "time"),
+                 parse_ms(f[3], "duration"),
+                 parse_probability(f[4], "P(good->bad)"),
+                 parse_probability(f[5], "P(bad->good)"),
+                 parse_probability(f[6], "bad-state loss"));
+    } else if (kind == "rmloss") {
+      expect_fields(f, 5, 6, kind);
+      plan.rm_fault(parse_target(f[1]), parse_ms(f[2], "time"),
+                    parse_ms(f[3], "duration"),
+                    parse_probability(f[4], "RM drop probability"),
+                    f.size() == 6
+                        ? parse_probability(f[5], "RM corrupt probability")
+                        : 0.0);
+    } else if (kind == "restart") {
+      expect_fields(f, 3, 3, kind);
+      plan.restart(parse_target(f[1]), parse_ms(f[2], "time"));
+    } else if (kind == "leave" || kind == "join") {
+      expect_fields(f, 3, 3, kind);
+      const std::size_t s = parse_session(f[1]);
+      const sim::Time at = parse_ms(f[2], "time");
+      if (kind == "leave") plan.leave(s, at); else plan.join(s, at);
+    } else {
+      throw std::invalid_argument{"fault plan: unknown event kind '" + kind +
+                                  "'"};
+    }
+  }
+  return plan;
+}
+
+}  // namespace phantom::fault

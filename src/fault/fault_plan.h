@@ -1,0 +1,123 @@
+// Scriptable fault schedules for resilience experiments.
+//
+// A FaultPlan is pure data: a list of fault events with absolute
+// activation times, built either programmatically (fluent builders) or
+// from a compact text spec (`parse`, used by phantom_cli --fault-plan).
+// fault::FaultInjector resolves the targets against a topo::AbrNetwork
+// and schedules the transitions on the simulator clock.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace phantom::fault {
+
+/// What a fault event acts on. Trunk faults hit both directions of the
+/// duplex trunk (data forward, returning RM cells backward); dest
+/// faults hit the link feeding the destination endpoint.
+struct FaultTarget {
+  enum class Kind { kTrunk, kDest, kSession };
+  Kind kind = Kind::kTrunk;
+  std::size_t index = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] inline FaultTarget trunk(std::size_t i) {
+  return {FaultTarget::Kind::kTrunk, i};
+}
+[[nodiscard]] inline FaultTarget dest(std::size_t i) {
+  return {FaultTarget::Kind::kDest, i};
+}
+[[nodiscard]] inline FaultTarget session(std::size_t i) {
+  return {FaultTarget::Kind::kSession, i};
+}
+
+struct FaultEvent {
+  enum class Kind {
+    kOutage,   ///< link drops everything during [at, at + duration)
+    kFlap,     ///< `cycles` down/up windows starting at `at`
+    kBurst,    ///< Gilbert–Elliott burst loss during [at, at + duration)
+    kRmFault,  ///< RM-only drop/corruption during [at, at + duration)
+    kRestart,  ///< wipe the port controller's learned state at `at`
+    kLeave,    ///< deactivate an ABR session at `at`
+    kJoin,     ///< (re)activate an ABR session at `at`
+    kCustom,   ///< run an arbitrary callback at `at` (programmatic only)
+  };
+
+  Kind kind = Kind::kOutage;
+  FaultTarget target;
+  sim::Time at;                         ///< absolute activation time
+  sim::Time duration = sim::Time::zero();  ///< outage / burst / RM window
+
+  // Flapping.
+  sim::Time down_period;
+  sim::Time up_period;
+  int cycles = 1;
+
+  // Gilbert–Elliott parameters (kBurst).
+  double p_good_bad = 0.0;
+  double p_bad_good = 0.0;
+  double loss_bad = 0.0;
+
+  // RM-targeted fault parameters (kRmFault).
+  double rm_loss = 0.0;
+  double rm_corrupt = 0.0;
+
+  /// kCustom hook: arbitrary scripted action (e.g. TCP flow churn, a
+  /// demand change) on the same schedule as the built-in faults.
+  std::function<void()> action;
+  std::string label;  ///< description for kCustom events
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// An ordered (by construction, not sorted) fault schedule.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  FaultPlan& outage(FaultTarget t, sim::Time at, sim::Time duration);
+  /// `cycles` repetitions of (down for `down`, up for `up`), first going
+  /// down at `at`.
+  FaultPlan& flap(FaultTarget t, sim::Time at, int cycles, sim::Time down,
+                  sim::Time up);
+  FaultPlan& burst(FaultTarget t, sim::Time at, sim::Time duration,
+                   double p_good_bad, double p_bad_good, double loss_bad);
+  FaultPlan& rm_fault(FaultTarget t, sim::Time at, sim::Time duration,
+                      double drop_probability, double corrupt_probability);
+  FaultPlan& restart(FaultTarget t, sim::Time at);
+  FaultPlan& leave(std::size_t session_index, sim::Time at);
+  FaultPlan& join(std::size_t session_index, sim::Time at);
+  FaultPlan& custom(sim::Time at, std::function<void()> action,
+                    std::string label = "custom");
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  /// Earliest activation time across all events (zero if empty).
+  [[nodiscard]] sim::Time first_fault_time() const;
+  /// Latest instant at which any event is still perturbing the network
+  /// (end of the last outage/burst/flap window; zero if empty).
+  [[nodiscard]] sim::Time last_recovery_time() const;
+
+  /// Parses a compact text spec; throws std::invalid_argument with a
+  /// precise message on malformed input. Grammar (events split on ';',
+  /// fields on ':', times in ms, targets `trunkN` / `destN`, sessions by
+  /// index):
+  ///
+  ///   outage:<target>:<at_ms>:<dur_ms>
+  ///   flap:<target>:<at_ms>:<cycles>:<down_ms>:<up_ms>
+  ///   burst:<target>:<at_ms>:<dur_ms>:<p_good_bad>:<p_bad_good>:<loss_bad>
+  ///   rmloss:<target>:<at_ms>:<dur_ms>:<drop_p>[:<corrupt_p>]
+  ///   restart:<target>:<at_ms>
+  ///   leave:<session>:<at_ms>
+  ///   join:<session>:<at_ms>
+  ///
+  /// Example: "outage:trunk0:250:50;restart:trunk0:450;leave:1:500"
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+};
+
+}  // namespace phantom::fault

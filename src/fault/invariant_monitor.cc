@@ -1,0 +1,133 @@
+#include "fault/invariant_monitor.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace phantom::fault {
+
+InvariantMonitor::InvariantMonitor(sim::Simulator& sim, topo::AbrNetwork& net,
+                                   sim::Time period)
+    : sim_{&sim}, net_{&net}, period_{period}, last_check_{sim.now()} {
+  if (period_ <= sim::Time::zero()) {
+    throw std::invalid_argument{"InvariantMonitor: period must be positive"};
+  }
+  sim_->schedule(period_, [this] { tick(); });
+}
+
+void InvariantMonitor::tick() {
+  check_now();
+  sim_->schedule(period_, [this] { tick(); });
+}
+
+void InvariantMonitor::check_now() {
+  ++checks_;
+  check_time_monotonic();
+  check_conservation();
+  check_queue_bounds();
+  check_rate_bounds();
+  last_check_ = sim_->now();
+}
+
+void InvariantMonitor::add(const char* invariant, std::string detail) {
+  violations_.push_back(
+      InvariantViolation{sim_->now(), invariant, std::move(detail)});
+}
+
+void InvariantMonitor::check_time_monotonic() {
+  if (sim_->now() < last_check_) {
+    add("time-monotonicity", "clock ran backwards: now " +
+                                 sim_->now().to_string() + " < previous check " +
+                                 last_check_.to_string());
+  }
+}
+
+void InvariantMonitor::check_conservation() {
+  // Every cell ever created must be somewhere. Creation points: ABR
+  // sources (data + FRM), CBR sources, and destinations (each turned FRM
+  // creates one BRM). A cell is accounted for when it is absorbed at an
+  // endpoint (destination data/FRM, source BRM, switch unrouted-bin),
+  // dropped at a full port queue, lost on a link, still queued at a
+  // port (including the cell being serialized), or in flight on a link.
+  std::uint64_t created = 0;
+  std::uint64_t absorbed = 0;
+  for (std::size_t s = 0; s < net_->num_sessions(); ++s) {
+    const atm::AbrSource& src = net_->source(s);
+    created += src.data_cells_sent() + src.rm_cells_sent();
+    absorbed += src.brm_cells_received();
+  }
+  for (std::size_t c = 0; c < net_->num_cbr_sessions(); ++c) {
+    created += net_->cbr_source(c).cells_sent();
+  }
+  for (std::size_t d = 0; d < net_->num_destinations(); ++d) {
+    const atm::AbrDestination& dst = net_->destination(d);
+    created += dst.rm_cells_turned();  // each turned FRM births a BRM
+    absorbed += dst.total_data_cells() + dst.rm_cells_turned();
+  }
+  std::uint64_t queued = 0;
+  std::uint64_t dropped = 0;
+  for (std::size_t w = 0; w < net_->num_switches(); ++w) {
+    atm::Switch& sw = net_->node(w);
+    absorbed += sw.unrouted_cells();
+    for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+      queued += sw.port(p).queue_length();
+      dropped += sw.port(p).cells_dropped();
+    }
+  }
+  std::uint64_t lost = 0;
+  std::uint64_t in_flight = 0;
+  for (const auto& st : net_->link_states()) {
+    lost += st->lost();
+    in_flight += st->in_flight();
+  }
+  const std::uint64_t accounted = absorbed + queued + dropped + lost + in_flight;
+  if (created != accounted) {
+    std::ostringstream out;
+    out << "created " << created << " != accounted " << accounted
+        << " (absorbed " << absorbed << " + queued " << queued << " + dropped "
+        << dropped << " + lost " << lost << " + in-flight " << in_flight << ")";
+    add("cell-conservation", out.str());
+  }
+}
+
+void InvariantMonitor::check_queue_bounds() {
+  for (std::size_t w = 0; w < net_->num_switches(); ++w) {
+    atm::Switch& sw = net_->node(w);
+    for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+      const atm::OutputPort& port = sw.port(p);
+      if (port.queue_length() > port.queue_limit()) {
+        add("queue-bounds",
+            sw.name() + " port " + std::to_string(p) + ": occupancy " +
+                std::to_string(port.queue_length()) + " exceeds limit " +
+                std::to_string(port.queue_limit()));
+      }
+    }
+  }
+}
+
+void InvariantMonitor::check_rate_bounds() {
+  for (std::size_t w = 0; w < net_->num_switches(); ++w) {
+    atm::Switch& sw = net_->node(w);
+    for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+      const atm::PortController& ctl = sw.port(p).controller();
+      const double share = ctl.fair_share().bits_per_sec();
+      if (!std::isfinite(share) || share < 0.0) {
+        add("rate-bounds", sw.name() + " port " + std::to_string(p) + " (" +
+                               ctl.name() + "): fair share " +
+                               std::to_string(share) + " b/s");
+      }
+    }
+  }
+  for (std::size_t s = 0; s < net_->num_sessions(); ++s) {
+    const atm::AbrSource& src = net_->source(s);
+    const double acr = src.acr().bits_per_sec();
+    const double pcr = src.params().pcr.bits_per_sec();
+    if (!std::isfinite(acr) || acr < 0.0 || acr > pcr) {
+      add("rate-bounds", "session " + std::to_string(s) + ": ACR " +
+                             std::to_string(acr) + " b/s outside [0, PCR=" +
+                             std::to_string(pcr) + "]");
+    }
+  }
+}
+
+}  // namespace phantom::fault

@@ -1,0 +1,76 @@
+// Machine-checked runtime invariants for ABR simulations.
+//
+// assert()-based sanity checking disappears under NDEBUG, so a release
+// build of a broken model fails silently. The InvariantMonitor is the
+// release-mode replacement: a periodic probe that cross-checks the
+// network's global bookkeeping and reports violations as structured
+// records (printed via exp::print_violations) instead of dying — a run
+// under fault injection finishes and tells you *what* broke.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "topo/abr_network.h"
+
+namespace phantom::fault {
+
+/// One detected invariant violation.
+struct InvariantViolation {
+  sim::Time time;
+  std::string invariant;  ///< short id, e.g. "cell-conservation"
+  std::string detail;     ///< human-readable specifics with the numbers
+};
+
+/// Periodically verifies, across the whole network:
+///
+///  * cell conservation — every cell ever created (source/CBR
+///    transmissions + destination RM turnaround) is accounted for:
+///    absorbed at an endpoint, dropped at a port, lost on a link,
+///    sitting in a queue, or propagating in flight;
+///  * queue bounds — no port's occupancy exceeds its configured limit;
+///  * rate bounds — every controller's fair-share estimate is finite
+///    and non-negative, and every source's ACR stays in [0, PCR]
+///    (sources clamp ER into [MCR, PCR], so a violation here means
+///    corrupted feedback escaped the clamps);
+///  * time monotonicity — the simulation clock never runs backwards
+///    between checks.
+///
+/// Checks run every `period` starting at construction time, and on
+/// demand via check_now(). Violations accumulate; a healthy run ends
+/// with violations().empty().
+class InvariantMonitor {
+ public:
+  InvariantMonitor(sim::Simulator& sim, topo::AbrNetwork& net,
+                   sim::Time period = sim::Time::ms(1));
+
+  InvariantMonitor(const InvariantMonitor&) = delete;
+  InvariantMonitor& operator=(const InvariantMonitor&) = delete;
+
+  /// Runs every check immediately (also happens on the periodic tick).
+  void check_now();
+
+  [[nodiscard]] const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_; }
+
+ private:
+  void tick();
+  void check_conservation();
+  void check_queue_bounds();
+  void check_rate_bounds();
+  void check_time_monotonic();
+  void add(const char* invariant, std::string detail);
+
+  sim::Simulator* sim_;
+  topo::AbrNetwork* net_;
+  sim::Time period_;
+  sim::Time last_check_ = sim::Time::zero();
+  std::uint64_t checks_ = 0;
+  std::vector<InvariantViolation> violations_;
+};
+
+}  // namespace phantom::fault

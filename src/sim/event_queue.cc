@@ -1,12 +1,18 @@
 #include "sim/event_queue.h"
 
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace phantom::sim {
 
 EventId EventQueue::schedule(Time at, Callback cb) {
-  assert(cb && "event callback must be callable");
+  if (!cb) throw std::logic_error{"EventQueue::schedule: null callback"};
+  if (at < floor_) {
+    throw std::logic_error{"EventQueue::schedule: " + at.to_string() +
+                           " is before the last popped event (" +
+                           floor_.to_string() + ")"};
+  }
   const std::uint64_t seq = next_seq_++;
   heap_.push(Entry{at, seq});
   callbacks_.emplace(seq, std::move(cb));
@@ -43,6 +49,7 @@ EventQueue::Popped EventQueue::pop() {
   assert(!heap_.empty() && "pop() on empty queue");
   const Entry top = heap_.top();
   heap_.pop();
+  floor_ = top.time;
   auto it = callbacks_.find(top.seq);
   assert(it != callbacks_.end());
   Popped out{top.time, std::move(it->second)};

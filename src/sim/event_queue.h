@@ -39,7 +39,8 @@ class EventQueue {
 
   /// Schedules `cb` at absolute time `at`. `at` may equal the time of the
   /// event currently executing (zero-delay events are allowed) but must
-  /// never be in the past relative to the last popped event.
+  /// never be in the past relative to the last popped event — that throws
+  /// std::logic_error in every build type.
   EventId schedule(Time at, Callback cb);
 
   /// Cancels a pending event. Cancelling an already-fired or already-
@@ -80,6 +81,8 @@ class EventQueue {
   std::unordered_map<std::uint64_t, Callback> callbacks_;
   std::uint64_t next_seq_ = 1;
   std::size_t live_count_ = 0;
+  Time floor_ = Time::zero();  // time of the last popped event
+
 };
 
 }  // namespace phantom::sim

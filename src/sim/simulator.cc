@@ -1,16 +1,23 @@
 #include "sim/simulator.h"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace phantom::sim {
 
 EventId Simulator::schedule(Time delay, EventQueue::Callback cb) {
-  assert(!delay.is_negative() && "cannot schedule into the past");
+  if (delay.is_negative()) {
+    throw std::logic_error{"Simulator::schedule: negative delay " +
+                           delay.to_string()};
+  }
   return queue_.schedule(now_ + delay, std::move(cb));
 }
 
 EventId Simulator::schedule_at(Time at, EventQueue::Callback cb) {
-  assert(at >= now_ && "cannot schedule into the past");
+  if (at < now_) {
+    throw std::logic_error{"Simulator::schedule_at: " + at.to_string() +
+                           " is in the past (now " + now_.to_string() + ")"};
+  }
   return queue_.schedule(at, std::move(cb));
 }
 
@@ -28,7 +35,11 @@ std::uint64_t Simulator::run() {
 }
 
 std::uint64_t Simulator::run_until(Time deadline) {
-  assert(deadline >= now_);
+  if (deadline < now_) {
+    throw std::logic_error{"Simulator::run_until: deadline " +
+                           deadline.to_string() + " is in the past (now " +
+                           now_.to_string() + ")"};
+  }
   stopped_ = false;
   std::uint64_t executed = 0;
   while (!queue_.empty() && !stopped_ && queue_.next_time() <= deadline) {

@@ -35,11 +35,13 @@ class Simulator {
 
   [[nodiscard]] Time now() const { return now_; }
 
-  /// Schedules `cb` to run `delay` from now. Negative delays are a
-  /// programming error.
+  /// Schedules `cb` to run `delay` from now. Negative delays throw
+  /// std::logic_error in every build type (a release build must not
+  /// silently corrupt the event order).
   EventId schedule(Time delay, EventQueue::Callback cb);
 
-  /// Schedules `cb` at absolute simulation time `at` (>= now()).
+  /// Schedules `cb` at absolute simulation time `at`. Throws
+  /// std::logic_error if `at` < now().
   EventId schedule_at(Time at, EventQueue::Callback cb);
 
   void cancel(EventId id) { queue_.cancel(id); }

@@ -1,0 +1,104 @@
+#include "stats/recovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phantom::stats {
+namespace {
+
+[[nodiscard]] bool in_band(double v, double target, double rel_tol) {
+  return std::abs(v - target) <= rel_tol * std::abs(target);
+}
+
+/// Index of the first sample with time > t, or samples.size().
+[[nodiscard]] std::size_t first_after(std::span<const sim::Sample> samples,
+                                      sim::Time t) {
+  const auto it = std::upper_bound(
+      samples.begin(), samples.end(), t,
+      [](sim::Time lhs, const sim::Sample& s) { return lhs < s.time; });
+  return static_cast<std::size_t>(it - samples.begin());
+}
+
+}  // namespace
+
+std::optional<sim::Time> time_to_reconverge(std::span<const sim::Sample> samples,
+                                            sim::Time from, double target,
+                                            double rel_tol, sim::Time hold) {
+  if (samples.empty()) return std::nullopt;
+  const std::size_t start = first_after(samples, from);
+  if (start == 0 && samples.front().time > from) {
+    // Nothing defines the value at `from`; scan from the first sample.
+  } else if (start == samples.size() && start > 0 &&
+             samples[start - 1].time < from) {
+    // Value frozen before the window: treat the step value as one sample
+    // at `from` (handled below by seeding with samples[start - 1]).
+  }
+
+  std::optional<sim::Time> entered;
+  // Value entering the window (step interpolation), pinned at `from`.
+  if (start > 0) {
+    if (in_band(samples[start - 1].value, target, rel_tol)) entered = from;
+  }
+  for (std::size_t i = start; i < samples.size(); ++i) {
+    if (in_band(samples[i].value, target, rel_tol)) {
+      if (!entered) entered = samples[i].time;
+    } else {
+      entered.reset();
+    }
+  }
+  if (!entered) return std::nullopt;
+  const sim::Time last = samples.back().time;
+  if (last - *entered < hold) return std::nullopt;  // not yet proven stable
+  return *entered - from;
+}
+
+double peak_in_window(std::span<const sim::Sample> samples, sim::Time from,
+                      sim::Time to) {
+  double peak = 0.0;
+  bool any = false;
+  const std::size_t start = first_after(samples, from);
+  if (start > 0 && samples[start - 1].time <= to) {
+    peak = samples[start - 1].value;  // step value carried into the window
+    any = true;
+  }
+  for (std::size_t i = start; i < samples.size() && samples[i].time <= to;
+       ++i) {
+    peak = any ? std::max(peak, samples[i].value) : samples[i].value;
+    any = true;
+  }
+  return any ? peak : 0.0;
+}
+
+double mean_in_window(std::span<const sim::Sample> samples, sim::Time from,
+                      sim::Time to) {
+  if (to <= from) return 0.0;
+  double weighted = 0.0;
+  double covered = 0.0;
+  std::size_t i = first_after(samples, from);
+  // Step value in force at `from`, if any sample precedes the window.
+  sim::Time seg_start = from;
+  double value = 0.0;
+  bool have_value = false;
+  if (i > 0) {
+    value = samples[i - 1].value;
+    have_value = true;
+  }
+  for (; i < samples.size() && samples[i].time <= to; ++i) {
+    if (have_value) {
+      const double dt = (samples[i].time - seg_start).seconds();
+      weighted += value * dt;
+      covered += dt;
+    }
+    seg_start = samples[i].time;
+    value = samples[i].value;
+    have_value = true;
+  }
+  if (have_value) {
+    const double dt = (to - seg_start).seconds();
+    weighted += value * dt;
+    covered += dt;
+  }
+  return covered > 0.0 ? weighted / covered : 0.0;
+}
+
+}  // namespace phantom::stats

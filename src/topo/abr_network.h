@@ -108,10 +108,29 @@ class AbrNetwork {
   }
   /// The controlled output port of a trunk.
   [[nodiscard]] atm::OutputPort& trunk_port(TrunkId t);
+  /// The uncontrolled reverse port of a trunk (returning RM cells) —
+  /// the fault subsystem takes both directions of a trunk down together.
+  [[nodiscard]] atm::OutputPort& trunk_reverse_port(TrunkId t);
   /// The output port feeding a destination.
   [[nodiscard]] atm::OutputPort& dest_port(DestId d);
 
   [[nodiscard]] std::size_t num_sessions() const { return sources_.size(); }
+  [[nodiscard]] std::size_t num_switches() const { return switches_.size(); }
+  [[nodiscard]] std::size_t num_trunks() const { return trunks_.size(); }
+  [[nodiscard]] std::size_t num_destinations() const { return dests_.size(); }
+  [[nodiscard]] std::size_t num_cbr_sessions() const {
+    return cbr_sources_.size();
+  }
+
+  /// Every physical link hop the network wired — switch-port links plus
+  /// source/destination access links. The invariant monitor sums loss /
+  /// in-flight counters over exactly this set for cell conservation.
+  [[nodiscard]] std::vector<std::shared_ptr<atm::LinkState>> link_states()
+      const;
+
+  /// Aggregate cells lost on all links (outages, random loss, bursts,
+  /// RM-targeted faults) — the loss-accounting probe.
+  [[nodiscard]] std::uint64_t total_cells_lost() const;
 
   /// Data cells received so far for session `s` at its destination.
   [[nodiscard]] std::uint64_t delivered_cells(SessionId s) const;

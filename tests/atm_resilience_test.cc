@@ -114,6 +114,49 @@ TEST(LossyLinkTest, DropsApproximatelyTheConfiguredFraction) {
   EXPECT_NEAR(static_cast<double>(link.cells_lost()), 1'000.0, 200.0);
 }
 
+TEST(LossyLinkTest, CopiesShareLossAccounting) {
+  // Link is a value type passed around by copy (ports, sources and the
+  // network builder each hold one); every copy must see the same fault
+  // state and counters or losses vanish from per-copy bookkeeping.
+  Simulator sim{17};
+  struct Counter final : atm::CellSink {
+    void receive_cell(atm::Cell) override { ++cells; }
+    int cells = 0;
+  } sink;
+  atm::Link original{sim, Time::zero(), sink, 0.1};
+  atm::Link copy = original;
+  for (int i = 0; i < 5'000; ++i) original.deliver(atm::Cell::data(1));
+  for (int i = 0; i < 5'000; ++i) copy.deliver(atm::Cell::data(1));
+  sim.run();
+  EXPECT_EQ(original.cells_lost(), copy.cells_lost());
+  EXPECT_EQ(original.cells_delivered(), copy.cells_delivered());
+  EXPECT_EQ(original.cells_lost() + original.cells_delivered(), 10'000u);
+  EXPECT_GT(original.cells_lost(), 0u);
+  // Fault state set through one copy acts on the other.
+  copy.state()->down = true;
+  const auto lost_before = original.cells_lost();
+  original.deliver(atm::Cell::data(1));
+  sim.run();
+  EXPECT_EQ(original.cells_lost(), lost_before + 1);
+}
+
+TEST(LossyLinkTest, NetworkExposesCumulativeLinkLosses) {
+  Simulator sim{7};
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto sw = net.add_switch("sw");
+  TrunkOptions lossy;
+  lossy.loss = 0.05;
+  const auto dest = net.add_destination(sw, lossy);
+  net.add_session(sw, {}, dest);
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(200));
+  EXPECT_GT(net.total_cells_lost(), 0u);
+  // The probe agrees with the per-link counters.
+  std::uint64_t sum = 0;
+  for (const auto& st : net.link_states()) sum += st->lost();
+  EXPECT_EQ(net.total_cells_lost(), sum);
+}
+
 TEST(AbrResilienceTest, ControlLoopSurvivesRmCellLoss) {
   // 2% random cell loss on the bottleneck trunk (data AND RM cells).
   // The loop must keep converging near the fair share: lost BRMs only

@@ -1,0 +1,361 @@
+// Fault-injection subsystem: plans, the injector, and the invariant
+// monitor, exercised on real networks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "exp/factories.h"
+#include "exp/probes.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "fault/invariant_monitor.h"
+#include "sim/simulator.h"
+#include "topo/abr_network.h"
+
+namespace phantom {
+namespace {
+
+using sim::Rate;
+using sim::Simulator;
+using sim::Time;
+using topo::AbrNetwork;
+
+struct Counter final : atm::CellSink {
+  void receive_cell(atm::Cell) override { ++cells; }
+  int cells = 0;
+};
+
+/// Single-bottleneck Phantom network: n sessions, one 150 Mb/s link.
+struct Bottleneck {
+  explicit Bottleneck(Simulator& sim, int n)
+      : net{sim, exp::make_factory(exp::Algorithm::kPhantom)} {
+    const auto sw = net.add_switch("sw");
+    dest = net.add_destination(sw, {});
+    for (int i = 0; i < n; ++i) net.add_session(sw, {}, dest);
+  }
+  AbrNetwork net;
+  AbrNetwork::DestId dest = 0;
+};
+
+TEST(FaultPlanTest, ParsesAllEventKinds) {
+  const auto plan = fault::FaultPlan::parse(
+      "outage:trunk0:250:50;flap:dest1:100:3:5:10;"
+      "burst:trunk2:10:200:0.1:0.3:0.5;rmloss:trunk0:0:100:0.25:0.5;"
+      "restart:trunk0:450;leave:1:500;join:1:550");
+  ASSERT_EQ(plan.events.size(), 7u);
+  using K = fault::FaultEvent::Kind;
+  EXPECT_EQ(plan.events[0].kind, K::kOutage);
+  EXPECT_EQ(plan.events[0].target.kind, fault::FaultTarget::Kind::kTrunk);
+  EXPECT_EQ(plan.events[0].at, Time::ms(250));
+  EXPECT_EQ(plan.events[0].duration, Time::ms(50));
+  EXPECT_EQ(plan.events[1].kind, K::kFlap);
+  EXPECT_EQ(plan.events[1].target.kind, fault::FaultTarget::Kind::kDest);
+  EXPECT_EQ(plan.events[1].cycles, 3);
+  EXPECT_EQ(plan.events[2].kind, K::kBurst);
+  EXPECT_DOUBLE_EQ(plan.events[2].p_good_bad, 0.1);
+  EXPECT_DOUBLE_EQ(plan.events[2].loss_bad, 0.5);
+  EXPECT_EQ(plan.events[3].kind, K::kRmFault);
+  EXPECT_DOUBLE_EQ(plan.events[3].rm_corrupt, 0.5);
+  EXPECT_EQ(plan.events[4].kind, K::kRestart);
+  EXPECT_EQ(plan.events[5].kind, K::kLeave);
+  EXPECT_EQ(plan.events[5].target.index, 1u);
+  EXPECT_EQ(plan.events[6].kind, K::kJoin);
+  EXPECT_EQ(plan.first_fault_time(), Time::zero());
+  EXPECT_EQ(plan.last_recovery_time(), Time::ms(550));
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(fault::FaultPlan::parse("meteor:trunk0:1:2"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("outage:link0:1:2"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("outage:trunk0:1"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("outage:trunk0:-5:2"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("burst:trunk0:1:2:1.5:0.3:0.5"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("flap:trunk0:1:0:5:5"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("leave:x:5"), std::invalid_argument);
+  EXPECT_NO_THROW(fault::FaultPlan::parse(""));  // empty plan is fine
+}
+
+TEST(FaultInjectorTest, ValidatesTargetsBeforeScheduling) {
+  Simulator sim;
+  Bottleneck b{sim, 2};
+  fault::FaultInjector injector{sim, b.net};
+  const auto pending_before = sim.pending_count();
+  EXPECT_THROW(
+      injector.apply(
+          fault::FaultPlan{}.outage(fault::trunk(5), Time::ms(1), Time::ms(1))),
+      std::out_of_range);
+  EXPECT_THROW(
+      injector.apply(fault::FaultPlan{}.leave(9, Time::ms(1))),
+      std::out_of_range);
+  // Nothing was scheduled by the failed applications.
+  EXPECT_EQ(sim.pending_count(), pending_before);
+}
+
+TEST(FaultInjectorTest, OutageStopsAndRestoresDelivery) {
+  Simulator sim;
+  Bottleneck b{sim, 2};
+  fault::FaultInjector injector{sim, b.net};
+  injector.apply(fault::FaultPlan{}.outage(fault::dest(b.dest), Time::ms(100),
+                                           Time::ms(50)));
+  b.net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(101));  // in-flight cells from before have landed
+  const auto during_start = b.net.delivered_cells(0) + b.net.delivered_cells(1);
+  sim.run_until(Time::ms(149));
+  const auto during_end = b.net.delivered_cells(0) + b.net.delivered_cells(1);
+  EXPECT_EQ(during_start, during_end);  // nothing crosses a dead link
+  const auto lost_during = b.net.total_cells_lost();
+  EXPECT_GT(lost_during, 0u);
+  sim.run_until(Time::ms(300));
+  EXPECT_GT(b.net.delivered_cells(0) + b.net.delivered_cells(1), during_end);
+  ASSERT_EQ(injector.log().size(), 2u);
+  EXPECT_EQ(injector.log()[0].time, Time::ms(100));
+  EXPECT_EQ(injector.log()[1].time, Time::ms(150));
+}
+
+TEST(FaultInjectorTest, FlapTogglesLinkRepeatedly) {
+  Simulator sim;
+  Bottleneck b{sim, 1};
+  fault::FaultInjector injector{sim, b.net};
+  injector.apply(fault::FaultPlan{}.flap(fault::dest(b.dest), Time::ms(50), 3,
+                                         Time::ms(5), Time::ms(10)));
+  b.net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(200));
+  ASSERT_EQ(injector.log().size(), 6u);  // 3 x (down + up)
+  EXPECT_EQ(injector.log()[0].time, Time::ms(50));
+  EXPECT_EQ(injector.log()[1].time, Time::ms(55));
+  EXPECT_EQ(injector.log()[4].time, Time::ms(80));
+  EXPECT_GT(b.net.total_cells_lost(), 0u);
+  EXPECT_GT(b.net.delivered_cells(0), 0u);  // survives the flapping
+}
+
+TEST(LinkFaultModelTest, GilbertElliottLossMatchesStationaryRate) {
+  Simulator sim{99};
+  Counter sink;
+  atm::Link link{sim, Time::zero(), sink};
+  auto st = link.state();
+  st->burst_enabled = true;
+  st->burst_p_good_bad = 0.1;
+  st->burst_p_bad_good = 0.3;
+  st->burst_loss_good = 0.0;
+  st->burst_loss_bad = 0.5;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) link.deliver(atm::Cell::data(1));
+  sim.run();
+  // Stationary P(bad) = p_gb / (p_gb + p_bg) = 0.25; loss = 0.25 * 0.5.
+  const double loss_rate = static_cast<double>(st->lost_burst) / n;
+  EXPECT_NEAR(loss_rate, 0.125, 0.01);
+  EXPECT_EQ(st->lost_burst + st->delivered, static_cast<std::uint64_t>(n));
+}
+
+TEST(LinkFaultModelTest, RmLossKillsOnlyRmCells) {
+  Simulator sim{5};
+  Counter sink;
+  atm::Link link{sim, Time::zero(), sink};
+  link.state()->rm_loss = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    link.deliver(atm::Cell::data(1));
+    link.deliver(atm::Cell::forward_rm(1, Rate::mbps(10), Rate::mbps(150)));
+  }
+  sim.run();
+  EXPECT_EQ(sink.cells, 100);  // every data cell, no RM cells
+  EXPECT_EQ(link.state()->lost_rm, 100u);
+}
+
+TEST(LinkFaultModelTest, RmCorruptionScramblesFeedbackFields) {
+  Simulator sim{5};
+  struct Collector final : atm::CellSink {
+    void receive_cell(atm::Cell c) override { cells.push_back(c); }
+    std::vector<atm::Cell> cells;
+  } sink;
+  atm::Link link{sim, Time::zero(), sink};
+  link.state()->rm_corrupt = 1.0;
+  const auto er = Rate::mbps(150);
+  for (int i = 0; i < 200; ++i) {
+    link.deliver(atm::Cell::forward_rm(1, Rate::mbps(10), er));
+  }
+  sim.run();
+  ASSERT_EQ(sink.cells.size(), 200u);
+  int changed_er = 0;
+  int ci_set = 0;
+  for (const atm::Cell& c : sink.cells) {
+    if (std::abs(c.er.bits_per_sec() - er.bits_per_sec()) > 1.0) ++changed_er;
+    if (c.ci) ++ci_set;
+  }
+  EXPECT_GT(changed_er, 150);  // uniform redraw almost never lands on ER
+  EXPECT_GT(ci_set, 50);       // CI flips with p = 0.5
+  EXPECT_LT(ci_set, 150);
+}
+
+TEST(FaultInjectorTest, RmCorruptionWindowSurvivedWithoutViolations) {
+  // Corrupted ER/CI feedback must not drive any source outside [0, PCR]
+  // (the source-side clamps are the last line of defense) and must not
+  // break cell conservation.
+  Simulator sim{3};
+  Bottleneck b{sim, 3};
+  fault::FaultInjector injector{sim, b.net};
+  injector.apply(fault::FaultPlan{}.rm_fault(fault::dest(b.dest), Time::ms(100),
+                                             Time::ms(200), 0.2, 0.8));
+  fault::InvariantMonitor monitor{sim, b.net};
+  b.net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(400));
+  monitor.check_now();
+  EXPECT_TRUE(monitor.violations().empty())
+      << monitor.violations().front().detail;
+  EXPECT_GT(b.net.delivered_cells(0), 1'000u);
+  EXPECT_GT(monitor.checks_run(), 100u);
+}
+
+TEST(FaultInjectorTest, ControllerRestartRelearnsFairShare) {
+  Simulator sim;
+  Bottleneck b{sim, 3};
+  fault::FaultInjector injector{sim, b.net};
+  injector.apply(fault::FaultPlan{}.restart(fault::dest(b.dest), Time::ms(200)));
+  b.net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(199));
+  const double before = b.net.dest_port(b.dest).controller().fair_share()
+                            .mbits_per_sec();
+  sim.run_until(Time::ms(201));
+  const double wiped = b.net.dest_port(b.dest).controller().fair_share()
+                           .mbits_per_sec();
+  EXPECT_LT(wiped, before);  // state really was wiped to the boot value
+  sim.run_until(Time::ms(400));
+  const double relearned = b.net.dest_port(b.dest).controller().fair_share()
+                               .mbits_per_sec();
+  // u*C/(n+1) = 0.95 * 150 / 4 = 35.625; relearned within 10%.
+  EXPECT_NEAR(relearned, 35.625, 3.6);
+  ASSERT_EQ(injector.log().size(), 1u);
+  EXPECT_NE(injector.log()[0].description.find("restart"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, SessionChurnThroughPlan) {
+  Simulator sim;
+  Bottleneck b{sim, 2};
+  fault::FaultInjector injector{sim, b.net};
+  injector.apply(fault::FaultPlan{}
+                     .leave(1, Time::ms(100))
+                     .join(1, Time::ms(200)));
+  fault::InvariantMonitor monitor{sim, b.net};
+  b.net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(150));
+  EXPECT_FALSE(b.net.source(1).active());
+  const auto s1_away = b.net.delivered_cells(1);
+  sim.run_until(Time::ms(350));
+  EXPECT_TRUE(b.net.source(1).active());
+  EXPECT_GT(b.net.delivered_cells(1), s1_away);  // transmitting again
+  monitor.check_now();
+  EXPECT_TRUE(monitor.violations().empty());
+}
+
+TEST(FaultInjectorTest, JoinStartsANeverStartedSource) {
+  Simulator sim;
+  Bottleneck b{sim, 2};
+  fault::FaultInjector injector{sim, b.net};
+  injector.apply(fault::FaultPlan{}.join(1, Time::ms(50)));
+  b.net.source(0).start(Time::zero());  // session 1 never started
+  sim.run_until(Time::ms(200));
+  EXPECT_TRUE(b.net.source(1).started());
+  EXPECT_GT(b.net.delivered_cells(1), 0u);
+}
+
+TEST(FaultInjectorTest, CustomActionRunsOnSchedule) {
+  Simulator sim;
+  Bottleneck b{sim, 1};
+  fault::FaultInjector injector{sim, b.net};
+  bool ran = false;
+  injector.apply(fault::FaultPlan{}.custom(
+      Time::ms(42), [&] { ran = true; }, "demand change"));
+  b.net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(100));
+  EXPECT_TRUE(ran);
+  ASSERT_EQ(injector.log().size(), 1u);
+  EXPECT_EQ(injector.log()[0].description, "demand change");
+  EXPECT_EQ(injector.log()[0].time, Time::ms(42));
+}
+
+TEST(InvariantMonitorTest, HealthyRunIsClean) {
+  Simulator sim;
+  Bottleneck b{sim, 3};
+  fault::InvariantMonitor monitor{sim, b.net};
+  b.net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(250));
+  monitor.check_now();
+  EXPECT_GT(monitor.checks_run(), 200u);
+  EXPECT_TRUE(monitor.violations().empty())
+      << monitor.violations().front().detail;
+}
+
+/// Deliberately broken controller: advertises a negative fair share.
+class BrokenController final : public atm::PortController {
+ public:
+  void on_backward_rm(atm::Cell&, std::size_t) override {}
+  [[nodiscard]] sim::Rate fair_share() const override {
+    return sim::Rate::bps(-1.0);
+  }
+  [[nodiscard]] std::string name() const override { return "broken"; }
+};
+
+TEST(InvariantMonitorTest, FlagsRateBoundViolations) {
+  Simulator sim;
+  AbrNetwork net{sim, [](sim::Simulator&, Rate) {
+                   return std::make_unique<BrokenController>();
+                 }};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw, {});
+  net.add_session(sw, {}, dest);
+  fault::InvariantMonitor monitor{sim, net};
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(5));
+  ASSERT_FALSE(monitor.violations().empty());
+  EXPECT_EQ(monitor.violations().front().invariant, "rate-bounds");
+  EXPECT_NE(monitor.violations().front().detail.find("broken"),
+            std::string::npos);
+}
+
+TEST(InvariantMonitorTest, ConservationHoldsUnderCombinedFaults) {
+  // Parking lot under an outage + burst loss + RM faults + restart +
+  // churn, all at once: every cell must still be accounted for at every
+  // periodic check.
+  Simulator sim{11};
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto s0 = net.add_switch("s0");
+  const auto s1 = net.add_switch("s1");
+  const auto s2 = net.add_switch("s2");
+  const auto t01 = net.add_trunk(s0, s1, {});
+  const auto t12 = net.add_trunk(s1, s2, {});
+  const auto d_end = net.add_destination(s2, {});
+  topo::TrunkOptions stub;
+  stub.controlled = false;
+  stub.rate = Rate::mbps(622);
+  const auto d1 = net.add_destination(s1, stub);
+  net.add_session(s0, {t01, t12}, d_end);
+  net.add_session(s0, {t01}, d1);
+  net.add_session(s1, {t12}, d_end);
+
+  fault::FaultInjector injector{sim, net};
+  injector.apply(
+      fault::FaultPlan{}
+          .outage(fault::trunk(t01), Time::ms(60), Time::ms(20))
+          .burst(fault::trunk(t12), Time::ms(30), Time::ms(150), 0.05, 0.4, 0.6)
+          .rm_fault(fault::trunk(t01), Time::ms(100), Time::ms(80), 0.3, 0.3)
+          .restart(fault::trunk(t01), Time::ms(150))
+          .leave(1, Time::ms(90))
+          .join(1, Time::ms(180)));
+  fault::InvariantMonitor monitor{sim, net};
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(300));
+  monitor.check_now();
+  EXPECT_GT(net.total_cells_lost(), 0u);
+  EXPECT_TRUE(monitor.violations().empty())
+      << monitor.violations().front().detail;
+  EXPECT_EQ(injector.log().size(), 2u + 2u + 2u + 1u + 1u + 1u);
+}
+
+}  // namespace
+}  // namespace phantom

@@ -99,6 +99,21 @@ TEST(EventQueueTest, PopReturnsTimestamp) {
   EXPECT_EQ(q.pop().time, Time::us(42));
 }
 
+TEST(EventQueueTest, SchedulingBeforeLastPopThrows) {
+  EventQueue q;
+  q.schedule(Time::ms(5), [] {});
+  q.pop();
+  EXPECT_THROW(q.schedule(Time::ms(2), [] {}), std::logic_error);
+  // Exactly at the floor is fine (same-instant follow-up events).
+  EXPECT_NO_THROW(q.schedule(Time::ms(5), [] {}));
+}
+
+TEST(EventQueueTest, NullCallbackThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(Time::ms(1), nullptr), std::logic_error);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueueTest, ManyInterleavedOperationsStayOrdered) {
   EventQueue q;
   std::vector<Time> popped;

@@ -121,6 +121,36 @@ TEST(SimulatorTest, SameSeedSameStream) {
   }
 }
 
+TEST(SimulatorTest, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(Time::ms(-1), [] {}), std::logic_error);
+}
+
+TEST(SimulatorTest, ScheduleAtInThePastThrows) {
+  Simulator sim;
+  sim.schedule(Time::ms(5), [&] {
+    EXPECT_THROW(sim.schedule_at(Time::ms(2), [] {}), std::logic_error);
+  });
+  sim.run();
+  // Scheduling exactly at `now` is allowed.
+  EXPECT_NO_THROW(sim.schedule_at(sim.now(), [] {}));
+}
+
+TEST(SimulatorTest, RunUntilPastDeadlineThrows) {
+  Simulator sim;
+  sim.schedule(Time::ms(5), [] {});
+  sim.run();
+  EXPECT_EQ(sim.now(), Time::ms(5));
+  EXPECT_THROW(sim.run_until(Time::ms(2)), std::logic_error);
+  EXPECT_NO_THROW(sim.run_until(sim.now()));
+}
+
+TEST(SimulatorTest, RejectedEventIsNotEnqueued) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(Time::ms(-3), [] {}), std::logic_error);
+  EXPECT_FALSE(sim.pending());
+}
+
 TEST(SimulatorTest, PeriodicProcessPattern) {
   // The idiom every model's interval timer uses.
   Simulator sim;

@@ -1,0 +1,93 @@
+#include "stats/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace phantom::stats {
+namespace {
+
+using sim::Sample;
+using sim::Time;
+
+std::vector<Sample> trace(std::initializer_list<std::pair<double, double>> pts) {
+  std::vector<Sample> out;
+  for (const auto& [ms, v] : pts) out.push_back({Time::ms(ms), v});
+  return out;
+}
+
+TEST(TimeToReconvergeTest, FindsReentryAfterDip) {
+  // Steady at 100, dips to 20 at t=50, back in band at t=80, stable to 200.
+  const auto t = trace({{0, 100}, {50, 20}, {80, 95}, {120, 100}, {200, 101}});
+  const auto r = time_to_reconverge(t, Time::ms(50), 100.0, 0.1, Time::ms(5));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, Time::ms(30));  // 80 - 50
+}
+
+TEST(TimeToReconvergeTest, LaterExcursionResetsTheClock) {
+  // Re-enters at 80 but leaves the band again at 120 (restart transient),
+  // final re-entry at 140.
+  const auto t = trace(
+      {{0, 100}, {50, 20}, {80, 95}, {120, 30}, {140, 102}, {250, 100}});
+  const auto r = time_to_reconverge(t, Time::ms(50), 100.0, 0.1, Time::ms(5));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, Time::ms(90));  // 140 - 50
+}
+
+TEST(TimeToReconvergeTest, NeverSettledIsNullopt) {
+  const auto t = trace({{0, 100}, {50, 20}, {100, 25}, {200, 30}});
+  EXPECT_FALSE(
+      time_to_reconverge(t, Time::ms(50), 100.0, 0.1, Time::ms(5)).has_value());
+}
+
+TEST(TimeToReconvergeTest, UnprovenHoldIsNullopt) {
+  // Back in band only 2 ms before the trace ends: not yet proven stable.
+  const auto t = trace({{0, 100}, {50, 20}, {198, 100}, {200, 100}});
+  EXPECT_FALSE(
+      time_to_reconverge(t, Time::ms(50), 100.0, 0.1, Time::ms(5)).has_value());
+}
+
+TEST(TimeToReconvergeTest, AlreadyInBandIsZeroLatency) {
+  const auto t = trace({{0, 100}, {100, 101}, {200, 99}});
+  const auto r = time_to_reconverge(t, Time::ms(50), 100.0, 0.1, Time::ms(5));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, Time::zero());
+}
+
+TEST(TimeToReconvergeTest, EmptyTraceIsNullopt) {
+  EXPECT_FALSE(time_to_reconverge({}, Time::ms(50), 100.0).has_value());
+}
+
+TEST(PeakInWindowTest, FindsMaximumIncludingStepValueAtWindowStart) {
+  const auto t = trace({{0, 5}, {40, 50}, {60, 10}, {90, 30}});
+  // Window [45, 100]: step value entering is 50 (set at t=40).
+  EXPECT_DOUBLE_EQ(peak_in_window(t, Time::ms(45), Time::ms(100)), 50.0);
+  // Window [65, 100]: peak is the t=90 sample.
+  EXPECT_DOUBLE_EQ(peak_in_window(t, Time::ms(65), Time::ms(100)), 30.0);
+}
+
+TEST(PeakInWindowTest, EmptyOrFutureWindowIsZero) {
+  EXPECT_DOUBLE_EQ(peak_in_window({}, Time::ms(0), Time::ms(10)), 0.0);
+  const auto t = trace({{50, 7}});
+  EXPECT_DOUBLE_EQ(peak_in_window(t, Time::ms(0), Time::ms(10)), 0.0);
+}
+
+TEST(MeanInWindowTest, TimeWeightsStepSegments) {
+  // 10 for [0,50), 30 for [50,100): mean over [0,100] = 20.
+  const auto t = trace({{0, 10}, {50, 30}});
+  EXPECT_DOUBLE_EQ(mean_in_window(t, Time::ms(0), Time::ms(100)), 20.0);
+  // Over [25, 75]: 10 for 25 ms, 30 for 25 ms -> 20.
+  EXPECT_DOUBLE_EQ(mean_in_window(t, Time::ms(25), Time::ms(75)), 20.0);
+  // Fully inside one segment.
+  EXPECT_DOUBLE_EQ(mean_in_window(t, Time::ms(60), Time::ms(90)), 30.0);
+}
+
+TEST(MeanInWindowTest, DegenerateWindowsAreZero) {
+  const auto t = trace({{0, 10}});
+  EXPECT_DOUBLE_EQ(mean_in_window(t, Time::ms(10), Time::ms(10)), 0.0);
+  EXPECT_DOUBLE_EQ(mean_in_window(t, Time::ms(10), Time::ms(5)), 0.0);
+  EXPECT_DOUBLE_EQ(mean_in_window({}, Time::ms(0), Time::ms(10)), 0.0);
+}
+
+}  // namespace
+}  // namespace phantom::stats
