@@ -1,13 +1,18 @@
 // Resilience figure (new; no paper counterpart): recovery after faults
 // on the parking-lot topology — a 50 ms outage of the first trunk while
-// the network is in steady state, followed by a controller restart that
-// wipes the trunk's learned state mid-run.
+// the network is in steady state, a Gilbert–Elliott burst-loss episode
+// on the second trunk, then a controller restart that wipes the first
+// trunk's learned state mid-run. Each algorithm runs the schedule under
+// 5 seeds (the burst fault draws from the simulator's RNG, so seeds
+// genuinely vary the loss pattern) and the table reports mean with
+// min/max spread.
 //
 // Expected shape: all constant-space algorithms relearn their operating
 // point from measurements alone, so the fair-share estimate returns to
 // its pre-fault band within tens of ms of each perturbation; Phantom's
-// MACR lands back within 10% of the max-min+phantom reference, queues
-// drain the post-outage burst, and the invariant monitor stays silent.
+// MACR lands back within 10% of the max-min+phantom reference for every
+// seed, queues drain the post-outage burst, and the invariant monitor
+// stays silent.
 #include "bench_util.h"
 
 #include "fault/fault_injector.h"
@@ -22,6 +27,7 @@ using sim::Time;
 namespace {
 
 constexpr double kRelTol = 0.1;  // "reconverged" = within 10% of target
+constexpr std::uint64_t kSeeds[] = {1, 2, 3, 4, 5};
 
 struct RunResult {
   std::string algorithm;
@@ -33,8 +39,8 @@ struct RunResult {
   double final_share_mbps = 0.0;
 };
 
-RunResult run_case(exp::Algorithm alg) {
-  sim::Simulator sim;
+RunResult run_case(exp::Algorithm alg, std::uint64_t seed) {
+  sim::Simulator sim{seed};
   topo::AbrNetwork net{sim, exp::make_factory(alg)};
   const auto s0 = net.add_switch("s0");
   const auto s1 = net.add_switch("s1");
@@ -58,9 +64,11 @@ RunResult run_case(exp::Algorithm alg) {
   const Time end = Time::ms(800);
 
   fault::FaultInjector injector{sim, net};
-  injector.apply(fault::FaultPlan{}
-                     .outage(fault::trunk(t01), outage_at, outage_len)
-                     .restart(fault::trunk(t01), restart_at));
+  injector.apply(
+      fault::FaultPlan{}
+          .outage(fault::trunk(t01), outage_at, outage_len)
+          .burst(fault::trunk(t12), Time::ms(330), Time::ms(40), 0.2, 0.5, 0.6)
+          .restart(fault::trunk(t01), restart_at));
   fault::InvariantMonitor monitor{sim, net};
   exp::FairShareSampler share{sim, net.trunk_port(t01).controller()};
   exp::QueueSampler queue{sim, net.trunk_port(t01)};
@@ -88,54 +96,93 @@ RunResult run_case(exp::Algorithm alg) {
   r.violations = monitor.violations().size();
   r.final_share_mbps = share.trace().last_or(0.0) * 1e-6;
 
-  exp::maybe_dump_series("fig_faults", "share_" + r.algorithm,
-                         share.trace().samples(), 1e-6);
-  exp::maybe_dump_series("fig_faults", "queue_" + r.algorithm,
-                         queue.trace().samples());
-  if (alg == exp::Algorithm::kPhantom) {
-    exp::print_fault_log(injector.log());
-    exp::print_series("Phantom MACR on trunk0 (Mb/s)", share.trace().samples(),
-                      1e-6, 30);
+  if (seed == kSeeds[0]) {
+    exp::maybe_dump_series("fig_faults", "share_" + r.algorithm,
+                           share.trace().samples(), 1e-6);
+    exp::maybe_dump_series("fig_faults", "queue_" + r.algorithm,
+                           queue.trace().samples());
+    if (alg == exp::Algorithm::kPhantom) {
+      exp::print_fault_log(injector.log());
+      exp::print_series("Phantom MACR on trunk0 (Mb/s, seed 1)",
+                        share.trace().samples(), 1e-6, 30);
+    }
   }
   return r;
+}
+
+/// mean [min, max] over the seeds, e.g. "34.2 [31.0, 38.5]".
+std::string spread(const std::vector<double>& xs, int precision = 1) {
+  double lo = xs.front(), hi = xs.front(), sum = 0.0;
+  for (const double x : xs) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    sum += x;
+  }
+  return exp::Table::num(sum / static_cast<double>(xs.size()), precision) +
+         " [" + exp::Table::num(lo, precision) + ", " +
+         exp::Table::num(hi, precision) + "]";
 }
 
 }  // namespace
 
 int main() {
   exp::print_header("Fig F1",
-                    "resilience: trunk outage + controller restart, parking lot");
+                    "resilience: outage + burst loss + restart, parking lot");
   std::printf(
       "parking lot, 2 x 150 Mb/s trunks; outage of trunk0 at 250 ms for 50 ms,"
-      "\ncontroller restart on trunk0 at 450 ms; run to 800 ms\n\n");
+      "\nGilbert-Elliott burst on trunk1 at 330 ms for 40 ms,"
+      "\ncontroller restart on trunk0 at 450 ms; run to 800 ms; 5 seeds\n\n");
 
-  exp::Table table{{"algorithm", "pre-fault share (Mb/s)", "reconverge (ms)",
-                    "peak queue (cells)", "post-fault Jain", "violations"}};
-  std::vector<RunResult> results;
+  exp::Table table{{"algorithm", "pre-fault share (Mb/s)",
+                    "reconverge (ms, mean [min,max])",
+                    "peak queue (cells, mean [min,max])", "post-fault Jain",
+                    "violations"}};
+  bool phantom_ok = true;
   for (const auto alg : {exp::Algorithm::kPhantom, exp::Algorithm::kEprca,
                          exp::Algorithm::kErica}) {
-    results.push_back(run_case(alg));
-    const RunResult& r = results.back();
-    table.add_row({r.algorithm, exp::Table::num(r.target_mbps),
-                   r.reconverge ? exp::Table::num(r.reconverge->milliseconds())
-                                : "never",
-                   exp::Table::num(r.peak_queue, 0),
-                   exp::Table::num(r.post_fault_jain, 4),
-                   std::to_string(r.violations)});
+    std::vector<double> reconverge_ms, peaks, shares, jains;
+    std::size_t violations = 0, never = 0;
+    for (const std::uint64_t seed : kSeeds) {
+      const RunResult r = run_case(alg, seed);
+      if (r.reconverge) {
+        reconverge_ms.push_back(r.reconverge->milliseconds());
+      } else {
+        ++never;
+      }
+      peaks.push_back(r.peak_queue);
+      shares.push_back(r.target_mbps);
+      jains.push_back(r.post_fault_jain);
+      violations += r.violations;
+
+      if (alg == exp::Algorithm::kPhantom) {
+        // Per-seed acceptance: back within 10% of the max-min+phantom
+        // reference for trunk0 (2 real sessions + 1 phantom at u = 0.95:
+        // 0.95 * 150 / 3 = 47.5 Mb/s), no misses, no violations.
+        const double ideal = 47.5;
+        const double err = std::abs(r.final_share_mbps - ideal) / ideal;
+        if (err > kRelTol || !r.reconverge || r.violations != 0) {
+          std::printf("Phantom FAILED seed %llu: final %.2f Mb/s, err %.1f%%, "
+                      "reconverged %s, %zu violations\n",
+                      static_cast<unsigned long long>(seed),
+                      r.final_share_mbps, err * 100.0,
+                      r.reconverge ? "yes" : "no", r.violations);
+          phantom_ok = false;
+        }
+      }
+    }
+    std::string reconverge_cell =
+        reconverge_ms.empty() ? "never" : spread(reconverge_ms);
+    if (never > 0) {
+      reconverge_cell += " (" + std::to_string(never) + " never)";
+    }
+    table.add_row({exp::to_string(alg), spread(shares), reconverge_cell,
+                   spread(peaks, 0), spread(jains, 4),
+                   std::to_string(violations)});
   }
   std::printf("\n");
   table.print();
 
-  // The acceptance bar: Phantom's MACR back within 10% of the
-  // max-min+phantom reference for trunk0 (2 real sessions + 1 phantom at
-  // u = 0.95: 0.95 * 150 / 3 = 47.5 Mb/s).
-  const double ideal = 47.5;
-  const RunResult& ph = results.front();
-  const double err = std::abs(ph.final_share_mbps - ideal) / ideal;
-  std::printf("\nPhantom final MACR: %.2f Mb/s (ideal u*C/3 = %.2f, error %.1f%%)\n",
-              ph.final_share_mbps, ideal, err * 100.0);
-  const bool ok = err <= kRelTol && ph.reconverge.has_value() &&
-                  ph.violations == 0;
-  std::printf("acceptance: %s\n", ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  std::printf("\nacceptance (Phantom, all 5 seeds): %s\n",
+              phantom_ok ? "PASS" : "FAIL");
+  return phantom_ok ? 0 : 1;
 }

@@ -1,0 +1,149 @@
+// phantom_chaos — randomized fault-schedule search with automatic
+// shrinking.
+//
+// Usage:
+//   phantom_chaos [--scenario=bottleneck|parking]
+//                 [--algorithm=phantom|eprca|aprc|capc|erica]
+//                 [--sessions=N] [--rate-mbps=R] [--duration-ms=D]
+//                 [--trials=T] [--seed=S] [--max-faults=K]
+//                 [--max-failures=F] [--shrink=0|1] [--json=PATH]
+//
+// Generates T randomized fault schedules for the scenario, runs each
+// under a watchdog (event/sim-time budgets, livelock detection), and
+// judges it against three oracles: invariant violations, reconvergence
+// deadlines, and a differential check against the fault-free run of the
+// same seed. Failures are delta-debugged to a minimal schedule that
+// replays under `phantom_cli --fault-plan=...`.
+//
+// The whole search is a pure function of its flags: the same seed
+// produces a byte-identical JSON report. --json=- writes JSON to
+// stdout; any other path writes a file. Exit code 0 when every trial
+// passed, 1 when failures were found, 2 on bad arguments.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "chaos/search.h"
+
+namespace {
+
+using namespace phantom;
+
+struct Args {
+  chaos::ScenarioSpec spec;
+  chaos::SearchOptions search;
+  std::string json;  // empty = no JSON; "-" = stdout
+};
+
+std::optional<Args> parse(int argc, char** argv) {
+  Args a;
+  double duration_ms = a.spec.horizon.milliseconds();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      std::fprintf(stderr, "bad argument: %s (want --key=value)\n",
+                   arg.c_str());
+      return std::nullopt;
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string val = arg.substr(eq + 1);
+    try {
+      if (key == "scenario") {
+        const auto kind = chaos::kind_from_string(val);
+        if (!kind) {
+          std::fprintf(stderr, "unknown scenario: %s\n", val.c_str());
+          return std::nullopt;
+        }
+        a.spec.kind = *kind;
+      } else if (key == "algorithm") {
+        const auto alg = exp::algorithm_from_string(val);
+        if (!alg) {
+          std::fprintf(stderr, "unknown algorithm: %s\n", val.c_str());
+          return std::nullopt;
+        }
+        a.spec.algorithm = *alg;
+      } else if (key == "sessions") a.spec.sessions = std::stoi(val);
+      else if (key == "rate-mbps") a.spec.rate_mbps = std::stod(val);
+      else if (key == "duration-ms") duration_ms = std::stod(val);
+      else if (key == "trials") a.search.trials = std::stoi(val);
+      else if (key == "seed") a.search.seed = std::stoull(val);
+      else if (key == "max-faults") a.search.gen.max_events = std::stoi(val);
+      else if (key == "max-failures") a.search.max_failures = std::stoi(val);
+      else if (key == "shrink") a.search.shrink = std::stoi(val) != 0;
+      else if (key == "json") a.json = val;
+      else {
+        std::fprintf(stderr, "unknown option: --%s\n", key.c_str());
+        return std::nullopt;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad value for --%s: %s\n", key.c_str(),
+                   val.c_str());
+      return std::nullopt;
+    }
+  }
+  a.spec.horizon = sim::Time::from_seconds(duration_ms / 1e3);
+  if (a.spec.sessions < 1 || a.spec.rate_mbps <= 0 || a.search.trials < 1 ||
+      a.search.gen.max_events < 1 || a.search.max_failures < 1) {
+    std::fprintf(stderr,
+                 "need sessions >= 1, rate > 0, trials >= 1, "
+                 "max-faults >= 1, max-failures >= 1\n");
+    return std::nullopt;
+  }
+  return a;
+}
+
+void print_summary(const chaos::SearchReport& report) {
+  std::printf("chaos: %s/%s, %d sessions @ %.0f Mb/s, horizon %.0f ms\n",
+              chaos::to_string(report.spec.kind).c_str(),
+              exp::to_string(report.spec.algorithm).c_str(),
+              report.spec.sessions, report.spec.rate_mbps,
+              report.spec.horizon.milliseconds());
+  std::printf("seed %llu | baseline share %.2f Mb/s | %d trials, %d passed, "
+              "%zu failed\n",
+              static_cast<unsigned long long>(report.options.seed),
+              report.baseline_share_mbps, report.trials_run, report.passed,
+              report.failures.size());
+  for (const auto& f : report.failures) {
+    std::printf("\nFAILURE (trial %d): %s\n  %s\n", f.trial,
+                chaos::to_string(f.result.verdict), f.result.detail.c_str());
+    std::printf("  plan:      %s\n", f.plan.to_spec().c_str());
+    std::printf("  minimized: %s  (%zu of %zu events, %d probes)\n",
+                f.shrunk_plan.to_spec().c_str(), f.shrunk_plan.events.size(),
+                f.plan.events.size(), f.shrink_probes);
+    std::printf("  replay:    %s\n", report.cli_replay(f).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args) return 2;
+
+  chaos::SearchReport report;
+  try {
+    report = chaos::run_search(args->spec, args->search);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chaos search failed: %s\n", e.what());
+    return 2;
+  }
+
+  print_summary(report);
+  if (!args->json.empty()) {
+    const std::string json = report.to_json();
+    if (args->json == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out{args->json, std::ios::binary};
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", args->json.c_str());
+        return 2;
+      }
+      out << json;
+      std::printf("wrote %s\n", args->json.c_str());
+    }
+  }
+  return report.clean() ? 0 : 1;
+}

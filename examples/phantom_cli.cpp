@@ -16,12 +16,14 @@
 // invariant violations, and the bottleneck's time-to-reconvergence.
 // SPEC grammar (see fault/fault_plan.h): events split on ';', e.g.
 //   --fault-plan="outage:trunk0:250:50;restart:trunk0:450"
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
 
+#include "chaos/scenario.h"
 #include "exp/factories.h"
 #include "exp/probes.h"
 #include "exp/report.h"
@@ -90,27 +92,18 @@ std::optional<Args> parse(int argc, char** argv) {
   return a;
 }
 
-std::optional<exp::Algorithm> algorithm_of(const std::string& name) {
-  if (name == "phantom") return exp::Algorithm::kPhantom;
-  if (name == "eprca") return exp::Algorithm::kEprca;
-  if (name == "aprc") return exp::Algorithm::kAprc;
-  if (name == "capc") return exp::Algorithm::kCapc;
-  if (name == "erica") return exp::Algorithm::kErica;
-  return std::nullopt;
-}
-
 /// Fault machinery armed when --fault-plan is given: the injector, the
 /// invariant monitor, and a fair-share sampler on the bottleneck (the
 /// trace time-to-reconvergence is computed from).
 struct FaultHarness {
   FaultHarness(sim::Simulator& sim, topo::AbrNetwork& net,
                const atm::OutputPort& bottleneck, const fault::FaultPlan& p)
+      // The plan is applied before the monitor and sampler arm, mirroring
+      // chaos::run_trial exactly so chaos-reported schedules replay 1:1.
       : injector{sim, net},
-        monitor{sim, net},
+        monitor{(injector.apply(p), sim), net},
         share{sim, bottleneck.controller()},
-        plan{p} {
-    injector.apply(plan);
-  }
+        plan{p} {}
 
   fault::FaultInjector injector;
   fault::InvariantMonitor monitor;
@@ -179,8 +172,21 @@ void report_abr(sim::Simulator& sim, topo::AbrNetwork& net,
 }
 
 int run_abr_scenario(const Args& args, exp::Algorithm alg) {
-  sim::Simulator sim{args.seed};
-  topo::AbrNetwork net{sim, exp::make_factory(alg)};
+  // "onoff" is the bottleneck topology plus an OnOffDriver on the last
+  // session; everything else maps straight onto a chaos scenario.
+  chaos::ScenarioSpec spec;
+  if (args.scenario == "onoff") {
+    spec.kind = chaos::ScenarioSpec::Kind::kBottleneck;
+  } else if (const auto kind = chaos::kind_from_string(args.scenario)) {
+    spec.kind = *kind;
+  } else {
+    std::fprintf(stderr, "unknown scenario: %s\n", args.scenario.c_str());
+    return 2;
+  }
+  spec.algorithm = alg;
+  spec.sessions = args.sessions;
+  spec.rate_mbps = args.rate_mbps;
+  spec.horizon = Time::from_seconds(args.duration_ms / 1e3);
 
   std::optional<fault::FaultPlan> plan;
   if (!args.fault_plan.empty()) {
@@ -191,80 +197,40 @@ int run_abr_scenario(const Args& args, exp::Algorithm alg) {
       return 2;
     }
   }
-  const auto arm_faults = [&](std::optional<FaultHarness>& harness,
-                              const atm::OutputPort& bottleneck) {
-    if (!plan) return true;
+
+  sim::Simulator sim{args.seed};
+  topo::AbrNetwork net{sim, spec.factory()};
+  atm::OutputPort& bottleneck = chaos::build_topology(spec, net);
+
+  std::optional<FaultHarness> faults;
+  if (plan) {
     try {
-      harness.emplace(sim, net, bottleneck, *plan);
+      faults.emplace(sim, net, bottleneck, *plan);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
-      return false;
+      return 2;
     }
-    return true;
-  };
-
-  if (args.scenario == "bottleneck" || args.scenario == "onoff") {
-    const auto sw = net.add_switch("sw");
-    topo::TrunkOptions opts;
-    opts.rate = Rate::mbps(args.rate_mbps);
-    const auto dest = net.add_destination(sw, opts);
-    for (int i = 0; i < args.sessions; ++i) net.add_session(sw, {}, dest);
-    net.start_all(Time::zero(), Time::zero());
-    std::optional<topo::OnOffDriver> driver;
-    if (args.scenario == "onoff") {
-      topo::OnOffDriver::Options opt;  // last session toggles
-      opt.first_toggle = Time::ms(60);
-      driver.emplace(sim, net.source(static_cast<std::size_t>(args.sessions) - 1), opt);
-    }
-    exp::QueueSampler queue{sim, net.dest_port(dest)};
-    std::optional<FaultHarness> faults;
-    if (!arm_faults(faults, net.dest_port(dest))) return 2;
-    exp::print_header("cli:" + args.scenario,
-                      exp::to_string(alg) + ", " +
-                          std::to_string(args.sessions) + " sessions @ " +
-                          exp::Table::num(args.rate_mbps, 0) + " Mb/s");
-    report_abr(sim, net, net.dest_port(dest), args, queue.trace(),
-               faults ? &*faults : nullptr);
-    return 0;
   }
-
-  if (args.scenario == "parking") {
-    const int hops = std::max(2, args.sessions - 1);
-    std::vector<topo::AbrNetwork::SwitchId> sw;
-    for (int i = 0; i <= hops; ++i) sw.push_back(net.add_switch("s"));
-    std::vector<topo::AbrNetwork::TrunkId> trunks;
-    topo::TrunkOptions opts;
-    opts.rate = Rate::mbps(args.rate_mbps);
-    for (int i = 0; i < hops; ++i) {
-      trunks.push_back(net.add_trunk(sw[static_cast<std::size_t>(i)],
-                                     sw[static_cast<std::size_t>(i + 1)],
-                                     opts));
-    }
-    const auto d_end = net.add_destination(sw.back(), opts);
-    topo::TrunkOptions stub;
-    stub.controlled = false;
-    stub.rate = Rate::mbps(4 * args.rate_mbps);
-    net.add_session(sw[0], trunks, d_end);  // the long session
-    for (int i = 0; i < hops; ++i) {        // one local per hop
-      const auto exit_sw = sw[static_cast<std::size_t>(i + 1)];
-      const auto d =
-          i + 1 == hops ? d_end : net.add_destination(exit_sw, stub);
-      net.add_session(sw[static_cast<std::size_t>(i)],
-                      {trunks[static_cast<std::size_t>(i)]}, d);
-    }
-    net.start_all(Time::zero(), Time::zero());
-    exp::QueueSampler queue{sim, net.trunk_port(trunks[0])};
-    std::optional<FaultHarness> faults;
-    if (!arm_faults(faults, net.trunk_port(trunks[0]))) return 2;
-    exp::print_header("cli:parking", exp::to_string(alg) + ", " +
-                                         std::to_string(hops) + " hops");
-    report_abr(sim, net, net.trunk_port(trunks[0]), args, queue.trace(),
-               faults ? &*faults : nullptr);
-    return 0;
+  exp::QueueSampler queue{sim, bottleneck};
+  std::optional<topo::OnOffDriver> driver;
+  if (args.scenario == "onoff") {
+    topo::OnOffDriver::Options opt;  // last session toggles
+    opt.first_toggle = Time::ms(60);
+    driver.emplace(sim, net.source(static_cast<std::size_t>(args.sessions) - 1),
+                   opt);
   }
+  net.start_all(Time::zero(), Time::zero());
 
-  std::fprintf(stderr, "unknown scenario: %s\n", args.scenario.c_str());
-  return 2;
+  const std::string detail =
+      spec.kind == chaos::ScenarioSpec::Kind::kParking
+          ? exp::to_string(alg) + ", " +
+                std::to_string(std::max(2, args.sessions - 1)) + " hops"
+          : exp::to_string(alg) + ", " + std::to_string(args.sessions) +
+                " sessions @ " + exp::Table::num(args.rate_mbps, 0) + " Mb/s";
+  exp::print_header("cli:" + args.scenario, detail);
+  report_abr(sim, net, bottleneck, args, queue.trace(),
+             faults ? &*faults : nullptr);
+  return 0;
 }
 
 int run_tcp_scenario(const Args& args) {
@@ -329,7 +295,7 @@ int main(int argc, char** argv) {
     }
     return run_tcp_scenario(*args);
   }
-  const auto alg = algorithm_of(args->algorithm);
+  const auto alg = exp::algorithm_from_string(args->algorithm);
   if (!alg) {
     std::fprintf(stderr, "unknown algorithm: %s\n", args->algorithm.c_str());
     return 2;

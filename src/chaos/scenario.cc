@@ -1,0 +1,97 @@
+#include "chaos/scenario.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace phantom::chaos {
+namespace {
+
+[[nodiscard]] int parking_hops(const ScenarioSpec& spec) {
+  return std::max(2, spec.sessions - 1);
+}
+
+}  // namespace
+
+topo::ControllerFactory ScenarioSpec::factory() const {
+  return factory_override ? factory_override : exp::make_factory(algorithm);
+}
+
+std::string to_string(ScenarioSpec::Kind k) {
+  switch (k) {
+    case ScenarioSpec::Kind::kBottleneck: return "bottleneck";
+    case ScenarioSpec::Kind::kParking: return "parking";
+  }
+  return "?";
+}
+
+std::optional<ScenarioSpec::Kind> kind_from_string(const std::string& name) {
+  if (name == "bottleneck") return ScenarioSpec::Kind::kBottleneck;
+  if (name == "parking") return ScenarioSpec::Kind::kParking;
+  return std::nullopt;
+}
+
+TopologyInfo topology_info(const ScenarioSpec& spec) {
+  TopologyInfo info;
+  switch (spec.kind) {
+    case ScenarioSpec::Kind::kBottleneck:
+      info.trunks = 0;
+      info.dests = 1;
+      info.controlled_dests = 1;
+      info.sessions = static_cast<std::size_t>(spec.sessions);
+      break;
+    case ScenarioSpec::Kind::kParking: {
+      const auto hops = static_cast<std::size_t>(parking_hops(spec));
+      info.trunks = hops;
+      info.dests = hops;  // d_end + (hops - 1) stubs; the last local reuses d_end
+      info.controlled_dests = 1;
+      info.sessions = 1 + hops;  // the long session + one local per hop
+      break;
+    }
+  }
+  return info;
+}
+
+atm::OutputPort& build_topology(const ScenarioSpec& spec,
+                                topo::AbrNetwork& net) {
+  using sim::Rate;
+  switch (spec.kind) {
+    case ScenarioSpec::Kind::kBottleneck: {
+      const auto sw = net.add_switch("sw");
+      topo::TrunkOptions opts;
+      opts.rate = Rate::mbps(spec.rate_mbps);
+      const auto dest = net.add_destination(sw, opts);
+      for (int i = 0; i < spec.sessions; ++i) net.add_session(sw, {}, dest);
+      return net.dest_port(dest);
+    }
+    case ScenarioSpec::Kind::kParking: {
+      const int hops = parking_hops(spec);
+      std::vector<topo::AbrNetwork::SwitchId> sw;
+      for (int i = 0; i <= hops; ++i) sw.push_back(net.add_switch("s"));
+      std::vector<topo::AbrNetwork::TrunkId> trunks;
+      topo::TrunkOptions opts;
+      opts.rate = Rate::mbps(spec.rate_mbps);
+      for (int i = 0; i < hops; ++i) {
+        trunks.push_back(net.add_trunk(sw[static_cast<std::size_t>(i)],
+                                       sw[static_cast<std::size_t>(i + 1)],
+                                       opts));
+      }
+      const auto d_end = net.add_destination(sw.back(), opts);
+      topo::TrunkOptions stub;
+      stub.controlled = false;
+      stub.rate = Rate::mbps(4 * spec.rate_mbps);
+      net.add_session(sw[0], trunks, d_end);  // the long session
+      for (int i = 0; i < hops; ++i) {        // one local per hop
+        const auto exit_sw = sw[static_cast<std::size_t>(i + 1)];
+        const auto d =
+            i + 1 == hops ? d_end : net.add_destination(exit_sw, stub);
+        net.add_session(sw[static_cast<std::size_t>(i)],
+                        {trunks[static_cast<std::size_t>(i)]}, d);
+      }
+      return net.trunk_port(trunks[0]);
+    }
+  }
+  throw std::logic_error{"chaos: bad scenario kind"};
+}
+
+}  // namespace phantom::chaos

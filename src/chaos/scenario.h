@@ -1,0 +1,62 @@
+// Scenario templates shared by the chaos harness and phantom_cli.
+//
+// A ScenarioSpec is the small, serializable description of a simulated
+// network under test: topology kind, algorithm, session count, link
+// rate, horizon. build_topology() wires exactly the network phantom_cli
+// builds for the same flags, so any fault schedule the chaos search
+// reports replays 1:1 under `phantom_cli --fault-plan=...`.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "atm/output_port.h"
+#include "exp/factories.h"
+#include "topo/abr_network.h"
+
+namespace phantom::chaos {
+
+struct ScenarioSpec {
+  enum class Kind {
+    kBottleneck,  ///< one switch, N sessions into one controlled link
+    kParking,     ///< parking lot: long session + one local per hop
+  };
+
+  Kind kind = Kind::kBottleneck;
+  exp::Algorithm algorithm = exp::Algorithm::kPhantom;
+  int sessions = 3;
+  double rate_mbps = 150.0;
+  sim::Time horizon = sim::Time::ms(600);
+
+  /// Tests plant deliberately broken controllers here (the chaos
+  /// harness's own regression tests); empty = make_factory(algorithm).
+  topo::ControllerFactory factory_override;
+
+  [[nodiscard]] topo::ControllerFactory factory() const;
+};
+
+[[nodiscard]] std::string to_string(ScenarioSpec::Kind k);
+[[nodiscard]] std::optional<ScenarioSpec::Kind> kind_from_string(
+    const std::string& name);
+
+/// What a generated FaultPlan may target in a built scenario. Dest
+/// indices below `controlled_dests` run a real flow-control algorithm
+/// (restartable); the rest are uncontrolled exit stubs.
+struct TopologyInfo {
+  std::size_t trunks = 0;
+  std::size_t dests = 0;
+  std::size_t controlled_dests = 0;
+  std::size_t sessions = 0;
+};
+
+/// Target counts for `spec` without building the network.
+[[nodiscard]] TopologyInfo topology_info(const ScenarioSpec& spec);
+
+/// Wires `spec`'s topology into `net` (which must have been constructed
+/// with spec.factory()) and returns the bottleneck port the oracles
+/// watch. Does not start the sources — callers start_all() when their
+/// probes are armed.
+atm::OutputPort& build_topology(const ScenarioSpec& spec,
+                                topo::AbrNetwork& net);
+
+}  // namespace phantom::chaos

@@ -1,0 +1,149 @@
+#include "chaos/search.h"
+
+#include <cstdio>
+
+namespace phantom::chaos {
+namespace {
+
+/// splitmix64 (Steele et al.) — decorrelates per-trial generator seeds
+/// from the master seed and each other.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] std::uint64_t trial_gen_seed(std::uint64_t master, int trial) {
+  // 0x6368616f73 == "chaos"; keeps the generator stream distinct from
+  // the simulator stream even when master seeds collide with sim seeds.
+  return splitmix64(master ^ (0x6368616f73ULL + static_cast<std::uint64_t>(trial)));
+}
+
+[[nodiscard]] std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_trial_result(std::string& out, const char* prefix,
+                         const TrialResult& r) {
+  out += std::string{"\""} + prefix + "verdict\": \"" + to_string(r.verdict) +
+         "\", ";
+  out += std::string{"\""} + prefix + "detail\": \"" + json_escape(r.detail) +
+         "\", ";
+}
+
+}  // namespace
+
+std::string SearchReport::to_json() const {
+  std::string out = "{\n";
+  out += "  \"scenario\": {\"kind\": \"" + to_string(spec.kind) +
+         "\", \"algorithm\": \"" + exp::to_string(spec.algorithm) +
+         "\", \"sessions\": " + std::to_string(spec.sessions) +
+         ", \"rate_mbps\": " + fmt_double(spec.rate_mbps) +
+         ", \"horizon_ms\": " + fmt_double(spec.horizon.milliseconds()) +
+         "},\n";
+  out += "  \"options\": {\"trials\": " + std::to_string(options.trials) +
+         ", \"seed\": " + std::to_string(options.seed) +
+         ", \"max_failures\": " + std::to_string(options.max_failures) +
+         ", \"shrink\": " + (options.shrink ? "true" : "false") + "},\n";
+  out += "  \"baseline_share_mbps\": " + fmt_double(baseline_share_mbps) +
+         ",\n";
+  out += "  \"trials_run\": " + std::to_string(trials_run) + ",\n";
+  out += "  \"passed\": " + std::to_string(passed) + ",\n";
+  out += "  \"failures\": [";
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    const Failure& f = failures[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"trial\": " + std::to_string(f.trial) + ", ";
+    append_trial_result(out, "", f.result);
+    out += "\"plan\": \"" + json_escape(f.plan.to_spec()) + "\", ";
+    out += "\"shrunk_plan\": \"" + json_escape(f.shrunk_plan.to_spec()) +
+           "\", ";
+    append_trial_result(out, "shrunk_", f.shrunk_result);
+    out += "\"shrink_probes\": " + std::to_string(f.shrink_probes) + ", ";
+    out += "\"replay\": \"" + json_escape(cli_replay(f)) + "\"}";
+  }
+  out += failures.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string SearchReport::cli_replay(const Failure& f) const {
+  std::string cmd = "phantom_cli --scenario=" + to_string(spec.kind);
+  cmd += " --algorithm=" + exp::to_string(spec.algorithm);
+  cmd += " --sessions=" + std::to_string(spec.sessions);
+  cmd += " --rate-mbps=" + fmt_double(spec.rate_mbps);
+  cmd += " --duration-ms=" + fmt_double(spec.horizon.milliseconds());
+  cmd += " --seed=" + std::to_string(options.seed);
+  cmd += " --fault-plan='" + f.shrunk_plan.to_spec() + "'";
+  return cmd;
+}
+
+SearchReport run_search(const ScenarioSpec& spec, const SearchOptions& opt) {
+  SearchReport report;
+  report.spec = spec;
+  report.options = opt;
+
+  const Baseline baseline = run_baseline(spec, opt.seed, opt.trial);
+  report.baseline_share_mbps = baseline.settled_share_bps * 1e-6;
+
+  for (int trial = 0; trial < opt.trials; ++trial) {
+    if (static_cast<int>(report.failures.size()) >= opt.max_failures) break;
+    sim::Rng gen_rng{trial_gen_seed(opt.seed, trial)};
+    const fault::FaultPlan plan = generate_plan(gen_rng, spec, opt.gen);
+    const TrialResult result =
+        run_trial(spec, opt.seed, plan, opt.trial, &baseline);
+    ++report.trials_run;
+    if (!result.failed()) {
+      ++report.passed;
+      continue;
+    }
+
+    Failure f;
+    f.trial = trial;
+    f.plan = plan;
+    f.result = result;
+    f.shrunk_plan = plan;
+    if (opt.shrink) {
+      // "Still fails" means the same oracle fires — a plan that trips a
+      // *different* oracle is a different bug, not a smaller repro.
+      const auto still_fails = [&](const fault::FaultPlan& candidate) {
+        return run_trial(spec, opt.seed, candidate, opt.trial, &baseline)
+                   .verdict == result.verdict;
+      };
+      ShrinkResult s = shrink(plan, still_fails, opt.shrinker);
+      f.shrunk_plan = std::move(s.plan);
+      f.shrink_probes = s.probes;
+    }
+    f.shrunk_result =
+        run_trial(spec, opt.seed, f.shrunk_plan, opt.trial, &baseline);
+    report.failures.push_back(std::move(f));
+  }
+  return report;
+}
+
+}  // namespace phantom::chaos

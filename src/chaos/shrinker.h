@@ -1,0 +1,39 @@
+// Automatic minimization of failing fault schedules (delta debugging).
+//
+// Given a failing plan and a predicate that re-runs the trial, the
+// shrinker greedily removes events, then simplifies the survivors
+// (fewer flap cycles, shorter windows, no RM corruption) while the
+// failure keeps reproducing. The result is the smallest schedule found
+// that still trips the same oracle — the thing a human debugs, and the
+// thing the report serializes for `phantom_cli --fault-plan` replay.
+#pragma once
+
+#include <functional>
+
+#include "fault/fault_plan.h"
+
+namespace phantom::chaos {
+
+struct ShrinkOptions {
+  /// Probe budget: each candidate plan costs one full trial re-run.
+  int max_probes = 400;
+  /// Durations are never shrunk below this (a 0 ms outage is a no-op).
+  sim::Time min_duration = sim::Time::ms(1);
+};
+
+struct ShrinkResult {
+  fault::FaultPlan plan;
+  int probes = 0;  ///< trials spent shrinking
+};
+
+/// Minimizes `failing`. `still_fails` must return true iff the
+/// candidate reproduces the original failure; it is never called on the
+/// input plan itself (which is assumed failing). Deterministic: the
+/// probe order is fixed, so the same input always shrinks to the same
+/// output.
+[[nodiscard]] ShrinkResult shrink(
+    const fault::FaultPlan& failing,
+    const std::function<bool(const fault::FaultPlan&)>& still_fails,
+    const ShrinkOptions& opt = {});
+
+}  // namespace phantom::chaos

@@ -1,5 +1,8 @@
 #include "exp/factories.h"
 
+#include <algorithm>
+#include <cctype>
+
 namespace phantom::exp {
 
 std::string to_string(Algorithm a) {
@@ -11,6 +14,19 @@ std::string to_string(Algorithm a) {
     case Algorithm::kErica: return "ERICA";
   }
   return "?";
+}
+
+std::optional<Algorithm> algorithm_from_string(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "phantom") return Algorithm::kPhantom;
+  if (lower == "eprca") return Algorithm::kEprca;
+  if (lower == "aprc") return Algorithm::kAprc;
+  if (lower == "capc") return Algorithm::kCapc;
+  if (lower == "erica") return Algorithm::kErica;
+  return std::nullopt;
 }
 
 topo::ControllerFactory make_factory(Algorithm a) {

@@ -2,6 +2,7 @@
 // common PortController interface.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "baselines/aprc.h"
@@ -17,6 +18,11 @@ namespace phantom::exp {
 enum class Algorithm { kPhantom, kEprca, kAprc, kCapc, kErica };
 
 [[nodiscard]] std::string to_string(Algorithm a);
+
+/// Case-insensitive inverse of to_string (CLI flag parsing); nullopt for
+/// unknown names.
+[[nodiscard]] std::optional<Algorithm> algorithm_from_string(
+    const std::string& name);
 
 /// Factory with each algorithm's default (recommended) parameters.
 [[nodiscard]] topo::ControllerFactory make_factory(Algorithm a);

@@ -69,7 +69,7 @@ void FaultInjector::validate(const FaultEvent& e) const {
     }
     case K::kLeave:
     case K::kJoin:
-      check_index(e.target.index, net_->num_sessions(), "session");
+      check_session_live(e.target.index, "at plan load");
       break;
     case K::kCustom:
       if (!e.action) throw std::invalid_argument{"custom fault: null action"};
@@ -79,6 +79,14 @@ void FaultInjector::validate(const FaultEvent& e) const {
 
 void FaultInjector::record(const std::string& description) {
   log_.push_back(AppliedFault{sim_->now(), description});
+}
+
+void FaultInjector::check_session_live(std::size_t s, const char* when) const {
+  if (s >= net_->num_sessions()) {
+    throw std::out_of_range{"fault plan: no such session " +
+                            std::to_string(s) + " " + when + " (network has " +
+                            std::to_string(net_->num_sessions()) + ")"};
+  }
 }
 
 void FaultInjector::schedule_event(const FaultEvent& e) {
@@ -169,6 +177,7 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
     case K::kLeave: {
       const std::size_t s = e.target.index;
       sim_->schedule_at(e.at, [this, s] {
+        check_session_live(s, "at activation");
         net_->source(s).set_active(false);
         record("session " + std::to_string(s) + " leaves");
       });
@@ -177,6 +186,7 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
     case K::kJoin: {
       const std::size_t s = e.target.index;
       sim_->schedule_at(e.at, [this, s] {
+        check_session_live(s, "at activation");
         atm::AbrSource& src = net_->source(s);
         if (src.started()) {
           src.set_active(true);
@@ -199,8 +209,20 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
   }
 }
 
-void FaultInjector::apply(const FaultPlan& plan) {
-  for (const FaultEvent& e : plan.events) validate(e);
+void FaultInjector::apply(const FaultPlan& plan, ValidateMode mode) {
+  if (mode == ValidateMode::kEager) {
+    for (const FaultEvent& e : plan.events) validate(e);
+  } else {
+    // Deferred mode still refuses what cannot be scheduled at all:
+    // link/controller targets are resolved below, and a null custom
+    // action can never become valid later.
+    for (const FaultEvent& e : plan.events) {
+      if (e.kind != FaultEvent::Kind::kLeave &&
+          e.kind != FaultEvent::Kind::kJoin) {
+        validate(e);
+      }
+    }
+  }
   for (const FaultEvent& e : plan.events) schedule_event(e);
 }
 

@@ -42,11 +42,25 @@ class FaultInjector {
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
-  /// Schedules every event in `plan`. Validates all targets up front and
-  /// throws std::out_of_range before scheduling anything if one is bad.
+  /// When session-churn targets are validated. Link/controller targets
+  /// are always resolved at apply() time (scheduling needs the link
+  /// handles); session indices can additionally be checked only when the
+  /// event fires, which lets churn-heavy generated plans be applied to a
+  /// network that is still adding sessions.
+  enum class ValidateMode {
+    kEager,         ///< whole plan checked before anything is scheduled
+    kAtActivation,  ///< kLeave/kJoin indices checked when the event fires
+  };
+
+  /// Schedules every event in `plan`. In kEager mode (the default) all
+  /// targets are validated up front and a bad one throws
+  /// std::out_of_range before anything is scheduled. In either mode a
+  /// kLeave/kJoin whose session index is out of range *when it fires*
+  /// throws a descriptive std::out_of_range out of the run — a stale
+  /// index fails cleanly instead of corrupting the churn bookkeeping.
   /// Events in the simulator's past throw std::logic_error (the
   /// hardened scheduler refuses past-time scheduling).
-  void apply(const FaultPlan& plan);
+  void apply(const FaultPlan& plan, ValidateMode mode = ValidateMode::kEager);
 
   /// Chronological log of the transitions that have fired so far.
   [[nodiscard]] const std::vector<AppliedFault>& log() const { return log_; }
@@ -58,6 +72,8 @@ class FaultInjector {
       FaultTarget t) const;
   [[nodiscard]] atm::PortController& controller_of(FaultTarget t) const;
   void validate(const FaultEvent& e) const;
+  /// Throws std::out_of_range unless session `s` exists right now.
+  void check_session_live(std::size_t s, const char* when) const;
   void schedule_event(const FaultEvent& e);
   void record(const std::string& description);
 

@@ -1,6 +1,7 @@
 #include "fault/fault_plan.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -86,8 +87,35 @@ void expect_fields(const std::vector<std::string>& f, std::size_t lo,
                    std::size_t hi, const std::string& kind) {
   if (f.size() < lo || f.size() > hi) {
     throw std::invalid_argument{"fault plan: wrong field count for '" + kind +
-                                "' event"};
+                                "' event (got " + std::to_string(f.size() - 1) +
+                                " fields)"};
   }
+}
+
+/// Exact decimal milliseconds: integer nanoseconds have at most six
+/// fractional ms digits, so the rendering loses nothing and parse()
+/// recovers the identical Time.
+[[nodiscard]] std::string format_ms(sim::Time t) {
+  const std::int64_t ns = t.nanoseconds();
+  const std::int64_t whole = ns / 1'000'000;
+  std::int64_t frac = ns % 1'000'000;
+  std::string out = std::to_string(whole);
+  if (frac != 0) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "%06lld", static_cast<long long>(frac));
+    std::string digits{buf};
+    while (!digits.empty() && digits.back() == '0') digits.pop_back();
+    out += '.' + digits;
+  }
+  return out;
+}
+
+/// Shortest-ish decimal that survives a stod round trip for the
+/// probabilities the grammar carries ("%.12g" exceeds their precision).
+[[nodiscard]] std::string format_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
 }
 
 }  // namespace
@@ -99,6 +127,50 @@ std::string FaultTarget::to_string() const {
     case Kind::kSession: return "session" + std::to_string(index);
   }
   return "?";
+}
+
+bool operator==(const FaultTarget& a, const FaultTarget& b) {
+  return a.kind == b.kind && a.index == b.index;
+}
+
+bool operator==(const FaultEvent& a, const FaultEvent& b) {
+  return a.kind == b.kind && a.target == b.target && a.at == b.at &&
+         a.duration == b.duration && a.down_period == b.down_period &&
+         a.up_period == b.up_period && a.cycles == b.cycles &&
+         a.p_good_bad == b.p_good_bad && a.p_bad_good == b.p_bad_good &&
+         a.loss_bad == b.loss_bad && a.rm_loss == b.rm_loss &&
+         a.rm_corrupt == b.rm_corrupt && a.label == b.label;
+}
+
+std::string FaultEvent::to_spec() const {
+  switch (kind) {
+    case Kind::kOutage:
+      return "outage:" + target.to_string() + ':' + format_ms(at) + ':' +
+             format_ms(duration);
+    case Kind::kFlap:
+      return "flap:" + target.to_string() + ':' + format_ms(at) + ':' +
+             std::to_string(cycles) + ':' + format_ms(down_period) + ':' +
+             format_ms(up_period);
+    case Kind::kBurst:
+      return "burst:" + target.to_string() + ':' + format_ms(at) + ':' +
+             format_ms(duration) + ':' + format_num(p_good_bad) + ':' +
+             format_num(p_bad_good) + ':' + format_num(loss_bad);
+    case Kind::kRmFault:
+      return "rmloss:" + target.to_string() + ':' + format_ms(at) + ':' +
+             format_ms(duration) + ':' + format_num(rm_loss) + ':' +
+             format_num(rm_corrupt);
+    case Kind::kRestart:
+      return "restart:" + target.to_string() + ':' + format_ms(at);
+    case Kind::kLeave:
+      return "leave:" + std::to_string(target.index) + ':' + format_ms(at);
+    case Kind::kJoin:
+      return "join:" + std::to_string(target.index) + ':' + format_ms(at);
+    case Kind::kCustom:
+      throw std::logic_error{
+          "fault plan: custom event '" + label +
+          "' has no text form (programmatic plans only)"};
+  }
+  throw std::logic_error{"fault plan: bad event kind"};
 }
 
 std::string FaultEvent::describe() const {
@@ -247,8 +319,28 @@ sim::Time FaultPlan::last_recovery_time() const {
 
 FaultPlan FaultPlan::parse(const std::string& spec) {
   FaultPlan plan;
+  std::size_t offset = 0;  // character position of the current event
+  std::size_t index = 1;   // 1-based ordinal of the current event
   for (const std::string& item : split(spec, ';')) {
+    const std::size_t item_offset = offset;
+    offset += item.size() + 1;  // +1 for the ';' separator
     if (item.empty()) continue;
+    try {
+      plan.parse_event(item);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument{std::string{e.what()} + " in event " +
+                                  std::to_string(index) + " (\"" + item +
+                                  "\") at character " +
+                                  std::to_string(item_offset)};
+    }
+    ++index;
+  }
+  return plan;
+}
+
+void FaultPlan::parse_event(const std::string& item) {
+  FaultPlan& plan = *this;
+  {
     const auto f = split(item, ':');
     const std::string& kind = f[0];
     if (kind == "outage") {
@@ -293,7 +385,15 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
                                   "'"};
     }
   }
-  return plan;
+}
+
+std::string FaultPlan::to_spec() const {
+  std::string out;
+  for (const FaultEvent& e : events) {
+    if (!out.empty()) out += ';';
+    out += e.to_spec();
+  }
+  return out;
 }
 
 }  // namespace phantom::fault

@@ -74,7 +74,23 @@ struct FaultEvent {
   std::string label;  ///< description for kCustom events
 
   [[nodiscard]] std::string describe() const;
+
+  /// This event in the text grammar (the exact form parse() accepts).
+  /// Throws std::logic_error for kCustom: arbitrary callbacks have no
+  /// textual form, so shrinker output and CLI replay exclude them.
+  [[nodiscard]] std::string to_spec() const;
 };
+
+/// Structural equality over every scriptable field. kCustom callbacks
+/// are not comparable; two custom events are equal when their times and
+/// labels match (the shrinker and the round-trip property test only ever
+/// compare fully scriptable plans).
+[[nodiscard]] bool operator==(const FaultEvent& a, const FaultEvent& b);
+[[nodiscard]] inline bool operator!=(const FaultEvent& a, const FaultEvent& b) {
+  return !(a == b);
+}
+
+[[nodiscard]] bool operator==(const FaultTarget& a, const FaultTarget& b);
 
 /// An ordered (by construction, not sorted) fault schedule.
 struct FaultPlan {
@@ -117,7 +133,31 @@ struct FaultPlan {
   ///   join:<session>:<at_ms>
   ///
   /// Example: "outage:trunk0:250:50;restart:trunk0:450;leave:1:500"
+  ///
+  /// Error messages name the offending token, the event's index and its
+  /// character position in the spec, e.g.
+  ///   fault plan: bad time 'x' in event 2 ("outage:trunk0:x:50") at
+  ///   character 17
   [[nodiscard]] static FaultPlan parse(const std::string& spec);
+
+  /// The whole plan in the text grammar, ';'-separated in event order;
+  /// parse(to_spec()) reconstructs the plan exactly (times serialize as
+  /// exact decimal milliseconds — integer nanoseconds have at most six
+  /// fractional ms digits). Throws std::logic_error if the plan contains
+  /// kCustom events.
+  [[nodiscard]] std::string to_spec() const;
+
+ private:
+  /// Parses one ';'-free grammar item and appends it (parse()'s body;
+  /// errors get the event's index/position added by the caller).
+  void parse_event(const std::string& item);
 };
+
+[[nodiscard]] inline bool operator==(const FaultPlan& a, const FaultPlan& b) {
+  return a.events == b.events;
+}
+[[nodiscard]] inline bool operator!=(const FaultPlan& a, const FaultPlan& b) {
+  return !(a == b);
+}
 
 }  // namespace phantom::fault

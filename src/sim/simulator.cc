@@ -5,6 +5,17 @@
 
 namespace phantom::sim {
 
+const char* to_string(RunOutcome o) {
+  switch (o) {
+    case RunOutcome::kDrained:     return "drained";
+    case RunOutcome::kDeadline:    return "deadline";
+    case RunOutcome::kStopped:     return "stopped";
+    case RunOutcome::kEventBudget: return "event-budget";
+    case RunOutcome::kLivelock:    return "livelock";
+  }
+  return "?";
+}
+
 EventId Simulator::schedule(Time delay, EventQueue::Callback cb) {
   if (delay.is_negative()) {
     throw std::logic_error{"Simulator::schedule: negative delay " +
@@ -31,6 +42,7 @@ std::uint64_t Simulator::run() {
     callback();
     ++executed;
   }
+  executed_ += executed;
   return executed;
 }
 
@@ -50,7 +62,61 @@ std::uint64_t Simulator::run_until(Time deadline) {
     ++executed;
   }
   if (!stopped_ && now_ < deadline) now_ = deadline;
+  executed_ += executed;
   return executed;
+}
+
+RunOutcome Simulator::run_guarded(const RunGuard& guard) {
+  if (guard.deadline < now_) {
+    throw std::logic_error{"Simulator::run_guarded: deadline " +
+                           guard.deadline.to_string() + " is in the past (now " +
+                           now_.to_string() + ")"};
+  }
+  stopped_ = false;
+  std::uint64_t executed = 0;
+  std::uint64_t at_instant = 0;
+  Time instant = now_;
+  RunOutcome outcome = RunOutcome::kDrained;
+  while (true) {
+    if (queue_.empty()) {
+      outcome = RunOutcome::kDrained;
+      break;
+    }
+    if (queue_.next_time() > guard.deadline) {
+      outcome = RunOutcome::kDeadline;
+      break;
+    }
+    if (executed >= guard.max_events) {
+      outcome = RunOutcome::kEventBudget;
+      break;
+    }
+    auto [time, callback] = queue_.pop();
+    assert(time >= now_);
+    if (time == instant) {
+      if (++at_instant > guard.max_events_per_instant) {
+        outcome = RunOutcome::kLivelock;
+        now_ = time;
+        break;
+      }
+    } else {
+      instant = time;
+      at_instant = 1;
+    }
+    now_ = time;
+    callback();
+    ++executed;
+    if (stopped_) {
+      outcome = RunOutcome::kStopped;
+      break;
+    }
+  }
+  executed_ += executed;
+  // Mirror run_until: a healthy run ends with the clock at the deadline.
+  if ((outcome == RunOutcome::kDrained || outcome == RunOutcome::kDeadline) &&
+      guard.deadline != Time::max() && now_ < guard.deadline) {
+    now_ = guard.deadline;
+  }
+  return outcome;
 }
 
 }  // namespace phantom::sim

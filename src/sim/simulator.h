@@ -9,12 +9,39 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/time.h"
 
 namespace phantom::sim {
+
+/// Why a guarded run returned (see Simulator::run_guarded).
+enum class RunOutcome {
+  kDrained,      ///< event queue empty — the model went quiet
+  kDeadline,     ///< reached the sim-time deadline with events pending
+  kStopped,      ///< stop() was called from a callback
+  kEventBudget,  ///< executed max_events without reaching the deadline
+  kLivelock,     ///< max_events_per_instant fired without time advancing
+};
+
+[[nodiscard]] const char* to_string(RunOutcome o);
+
+/// Budgets for a guarded run. The defaults never trip; a watchdog sets
+/// the budgets it cares about. All limits are deterministic (event
+/// counts and sim time, never wall clock), so a guarded run is exactly
+/// reproducible from the seed.
+struct RunGuard {
+  Time deadline = Time::max();
+  /// Total events this call may execute before giving up.
+  std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max();
+  /// Events executed at one instant without the clock advancing before
+  /// the run is declared livelocked (a model rescheduling itself at
+  /// `now()` forever would otherwise wedge the process).
+  std::uint64_t max_events_per_instant =
+      std::numeric_limits<std::uint64_t>::max();
+};
 
 /// Single-threaded discrete-event simulator.
 ///
@@ -55,8 +82,18 @@ class Simulator {
   /// of events executed.
   std::uint64_t run_until(Time deadline);
 
+  /// Runs events under the guard's budgets: executes events with
+  /// timestamp <= guard.deadline until the queue drains, the deadline is
+  /// reached (now() is then advanced to it), stop() is called, or a
+  /// budget trips. The watchdog entry point: a hung or exploding model
+  /// becomes a structured outcome instead of a wedged process.
+  RunOutcome run_guarded(const RunGuard& guard);
+
   /// Makes run()/run_until() return after the current event completes.
   void stop() { stopped_ = true; }
+
+  /// Events executed over this simulator's lifetime (all run variants).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
   [[nodiscard]] bool pending() const { return !queue_.empty(); }
   [[nodiscard]] std::size_t pending_count() const { return queue_.size(); }
@@ -69,6 +106,7 @@ class Simulator {
   EventQueue queue_;
   Time now_ = Time::zero();
   bool stopped_ = false;
+  std::uint64_t executed_ = 0;
   Rng rng_;
 };
 

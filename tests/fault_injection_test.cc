@@ -357,5 +357,48 @@ TEST(InvariantMonitorTest, ConservationHoldsUnderCombinedFaults) {
   EXPECT_EQ(injector.log().size(), 2u + 2u + 2u + 1u + 1u + 1u);
 }
 
+TEST(FaultInjectorTest, DeferredValidationRejectsChurnAtActivation) {
+  Simulator sim;
+  Bottleneck b{sim, 2};
+  fault::FaultInjector injector{sim, b.net};
+  // Deferred mode accepts the plan at load time...
+  EXPECT_NO_THROW(
+      injector.apply(fault::FaultPlan{}.leave(9, Time::ms(10)),
+                     fault::FaultInjector::ValidateMode::kAtActivation));
+  b.net.start_all(Time::zero(), Time::zero());
+  // ...but the out-of-range index is still caught when the event fires,
+  // not silently dropped or applied to some other session.
+  EXPECT_THROW(sim.run_until(Time::ms(20)), std::out_of_range);
+  EXPECT_EQ(sim.now(), Time::ms(10));  // threw at the activation instant
+}
+
+TEST(FaultInjectorTest, DeferredValidationStillRejectsBadLinksEagerly) {
+  Simulator sim;
+  Bottleneck b{sim, 2};
+  fault::FaultInjector injector{sim, b.net};
+  // Only session churn is deferred; an unresolvable link target can
+  // never become valid and is refused up front in both modes.
+  EXPECT_THROW(
+      injector.apply(
+          fault::FaultPlan{}.outage(fault::trunk(5), Time::ms(1), Time::ms(1)),
+          fault::FaultInjector::ValidateMode::kAtActivation),
+      std::out_of_range);
+}
+
+TEST(FaultInjectorTest, EagerValidationNamesLoadTime) {
+  Simulator sim;
+  Bottleneck b{sim, 2};
+  fault::FaultInjector injector{sim, b.net};
+  try {
+    injector.apply(fault::FaultPlan{}.join(7, Time::ms(1)));
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string{e.what()}.find("at plan load"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string{e.what()}.find("session 7"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace phantom

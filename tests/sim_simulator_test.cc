@@ -164,5 +164,82 @@ TEST(SimulatorTest, PeriodicProcessPattern) {
   EXPECT_EQ(intervals, 100);
 }
 
+TEST(RunGuardedTest, DrainsAndAdvancesToDeadline) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule(Time::ms(3), [&] { ++ran; });
+  RunGuard guard;
+  guard.deadline = Time::ms(10);
+  EXPECT_EQ(sim.run_guarded(guard), RunOutcome::kDrained);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), Time::ms(10));  // clock lands on the deadline
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(RunGuardedTest, DeadlineLeavesLaterEventsPending) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule(Time::ms(3), [&] { ++ran; });
+  sim.schedule(Time::ms(30), [&] { ++ran; });
+  RunGuard guard;
+  guard.deadline = Time::ms(10);
+  EXPECT_EQ(sim.run_guarded(guard), RunOutcome::kDeadline);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), Time::ms(10));
+  EXPECT_TRUE(sim.pending());
+}
+
+TEST(RunGuardedTest, EventBudgetStopsARunawayCascade) {
+  Simulator sim;
+  std::function<void()> cascade = [&] { sim.schedule(Time::us(1), cascade); };
+  sim.schedule(Time::us(1), cascade);
+  RunGuard guard;
+  guard.max_events = 500;
+  EXPECT_EQ(sim.run_guarded(guard), RunOutcome::kEventBudget);
+  EXPECT_EQ(sim.events_executed(), 500u);
+}
+
+TEST(RunGuardedTest, LivelockDetectedWhenClockStopsAdvancing) {
+  // Zero-delay self-rescheduling: sim time never moves past 1 ms.
+  Simulator sim;
+  std::function<void()> spin = [&] { sim.schedule(Time::zero(), spin); };
+  sim.schedule(Time::ms(1), spin);
+  RunGuard guard;
+  guard.deadline = Time::ms(100);
+  guard.max_events_per_instant = 1000;
+  EXPECT_EQ(sim.run_guarded(guard), RunOutcome::kLivelock);
+  EXPECT_EQ(sim.now(), Time::ms(1));  // wedged instant, not the deadline
+}
+
+TEST(RunGuardedTest, BoundedFanoutAtOneInstantIsNotALivelock) {
+  Simulator sim;
+  int ran = 0;
+  for (int i = 0; i < 50; ++i) sim.schedule(Time::ms(1), [&] { ++ran; });
+  RunGuard guard;
+  guard.deadline = Time::ms(2);
+  guard.max_events_per_instant = 100;
+  EXPECT_EQ(sim.run_guarded(guard), RunOutcome::kDrained);
+  EXPECT_EQ(ran, 50);
+}
+
+TEST(RunGuardedTest, StopFromCallbackWins) {
+  Simulator sim;
+  sim.schedule(Time::ms(1), [&] { sim.stop(); });
+  sim.schedule(Time::ms(2), [] { FAIL() << "ran past stop()"; });
+  RunGuard guard;
+  guard.deadline = Time::ms(10);
+  EXPECT_EQ(sim.run_guarded(guard), RunOutcome::kStopped);
+  EXPECT_EQ(sim.now(), Time::ms(1));  // stop() does not advance to deadline
+}
+
+TEST(RunGuardedTest, PastDeadlineThrows) {
+  Simulator sim;
+  sim.schedule(Time::ms(5), [] {});
+  sim.run();
+  RunGuard guard;
+  guard.deadline = Time::ms(2);
+  EXPECT_THROW((void)sim.run_guarded(guard), std::logic_error);
+}
+
 }  // namespace
 }  // namespace phantom::sim
