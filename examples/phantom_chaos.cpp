@@ -7,18 +7,33 @@
 //                 [--sessions=N] [--rate-mbps=R] [--duration-ms=D]
 //                 [--trials=T] [--seed=S] [--max-faults=K]
 //                 [--max-failures=F] [--shrink=0|1] [--json=PATH]
+//                 [--isolate|--no-isolate] [--jobs=N] [--timeout-ms=T]
+//                 [--resume=PATH]
 //
 // Generates T randomized fault schedules for the scenario, runs each
 // under a watchdog (event/sim-time budgets, livelock detection), and
 // judges it against three oracles: invariant violations, reconvergence
 // deadlines, and a differential check against the fault-free run of the
 // same seed. Failures are delta-debugged to a minimal schedule that
-// replays under `phantom_cli --fault-plan=...`.
+// replays under `phantom_cli --fault-plan=...`, then triaged into
+// unique failure classes.
 //
-// The whole search is a pure function of its flags: the same seed
-// produces a byte-identical JSON report. --json=- writes JSON to
-// stdout; any other path writes a file. Exit code 0 when every trial
-// passed, 1 when failures were found, 2 on bad arguments.
+// Isolation is on by default: each trial (and each shrink probe) runs
+// in a forked, rlimited child, so a SIGSEGV / assert / sanitizer abort
+// / OOM in the system under test becomes a structured process-crash
+// failure instead of killing the search. --jobs=N runs N children
+// concurrently; --timeout-ms sets the per-trial wall-clock kill
+// deadline; --resume=PATH checkpoints completed trials to a JSONL file
+// and, when the file already exists for the same search, resumes from
+// it. Ctrl-C drains gracefully: in-flight trials finish, the
+// checkpoint stays consistent, and a partial report is printed.
+//
+// The report is a pure function of (scenario flags, seed): the same
+// seed produces a byte-identical JSON report at any --jobs value, and
+// — for crash-free scenarios — with or without isolation. --json=-
+// writes JSON to stdout; any other path writes a file. Exit code 0
+// when every trial passed, 1 when failures were found, 2 on bad
+// arguments, 130 when interrupted.
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -38,9 +53,14 @@ struct Args {
 
 std::optional<Args> parse(int argc, char** argv) {
   Args a;
+  a.search.isolate = true;  // crash containment is the CLI's default
   double duration_ms = a.spec.horizon.milliseconds();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--isolate" || arg == "--no-isolate") {
+      a.search.isolate = arg == "--isolate";
+      continue;
+    }
     const auto eq = arg.find('=');
     if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
       std::fprintf(stderr, "bad argument: %s (want --key=value)\n",
@@ -73,6 +93,10 @@ std::optional<Args> parse(int argc, char** argv) {
       else if (key == "max-failures") a.search.max_failures = std::stoi(val);
       else if (key == "shrink") a.search.shrink = std::stoi(val) != 0;
       else if (key == "json") a.json = val;
+      else if (key == "jobs") a.search.jobs = std::stoi(val);
+      else if (key == "isolate") a.search.isolate = std::stoi(val) != 0;
+      else if (key == "timeout-ms") a.search.isolation.timeout_ms = std::stoll(val);
+      else if (key == "resume") a.search.checkpoint = val;
       else {
         std::fprintf(stderr, "unknown option: --%s\n", key.c_str());
         return std::nullopt;
@@ -85,10 +109,17 @@ std::optional<Args> parse(int argc, char** argv) {
   }
   a.spec.horizon = sim::Time::from_seconds(duration_ms / 1e3);
   if (a.spec.sessions < 1 || a.spec.rate_mbps <= 0 || a.search.trials < 1 ||
-      a.search.gen.max_events < 1 || a.search.max_failures < 1) {
+      a.search.gen.max_events < 1 || a.search.max_failures < 1 ||
+      a.search.jobs < 1) {
     std::fprintf(stderr,
                  "need sessions >= 1, rate > 0, trials >= 1, "
-                 "max-faults >= 1, max-failures >= 1\n");
+                 "max-faults >= 1, max-failures >= 1, jobs >= 1\n");
+    return std::nullopt;
+  }
+  if (!a.search.isolate && (a.search.jobs > 1 || !a.search.checkpoint.empty())) {
+    std::fprintf(stderr,
+                 "--jobs and --resume need process isolation "
+                 "(drop --no-isolate)\n");
     return std::nullopt;
   }
   return a;
@@ -105,14 +136,50 @@ void print_summary(const chaos::SearchReport& report) {
               static_cast<unsigned long long>(report.options.seed),
               report.baseline_share_mbps, report.trials_run, report.passed,
               report.failures.size());
+  if (report.resumed > 0) {
+    std::printf("resumed %d completed trial%s from the checkpoint\n",
+                report.resumed, report.resumed == 1 ? "" : "s");
+  }
   for (const auto& f : report.failures) {
     std::printf("\nFAILURE (trial %d): %s\n  %s\n", f.trial,
                 chaos::to_string(f.result.verdict), f.result.detail.c_str());
+    if (f.result.verdict == chaos::Verdict::kProcessCrash &&
+        !f.result.stderr_tail.empty()) {
+      std::printf("  stderr tail:\n");
+      const std::string& tail = f.result.stderr_tail;
+      std::size_t start = 0;
+      while (start < tail.size()) {
+        std::size_t end = tail.find('\n', start);
+        if (end == std::string::npos) end = tail.size();
+        std::printf("    %.*s\n", static_cast<int>(end - start),
+                    tail.data() + start);
+        start = end + 1;
+      }
+    }
     std::printf("  plan:      %s\n", f.plan.to_spec().c_str());
     std::printf("  minimized: %s  (%zu of %zu events, %d probes)\n",
                 f.shrunk_plan.to_spec().c_str(), f.shrunk_plan.events.size(),
                 f.plan.events.size(), f.shrink_probes);
     std::printf("  replay:    %s\n", report.cli_replay(f).c_str());
+  }
+  if (!report.failures.empty()) {
+    std::printf("\n%zu unique failure class%s:\n", report.classes.size(),
+                report.classes.size() == 1 ? "" : "es");
+    for (const auto& c : report.classes) {
+      std::printf("  [%zu trial%s] %s%s%s — e.g. trial %d: %s\n",
+                  c.trials.size(), c.trials.size() == 1 ? "" : "s",
+                  chaos::to_string(c.verdict), c.signal.empty() ? "" : "/",
+                  c.signal.c_str(), c.trials.front(),
+                  c.sample_detail.c_str());
+    }
+  }
+  if (report.interrupted) {
+    std::printf("\ninterrupted — the report covers only completed trials");
+    if (!report.options.checkpoint.empty()) {
+      std::printf("; resume with --resume=%s",
+                  report.options.checkpoint.c_str());
+    }
+    std::printf("\n");
   }
 }
 
@@ -145,5 +212,6 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", args->json.c_str());
     }
   }
+  if (report.interrupted) return 130;
   return report.clean() ? 0 : 1;
 }

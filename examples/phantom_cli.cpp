@@ -16,11 +16,16 @@
 // invariant violations, and the bottleneck's time-to-reconvergence.
 // SPEC grammar (see fault/fault_plan.h): events split on ';', e.g.
 //   --fault-plan="outage:trunk0:250:50;restart:trunk0:450"
+// --fault-plan=@PATH reads the spec from a file instead; a missing,
+// unreadable or empty file is a hard error (exit 2), never a silent
+// run with no faults.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "chaos/scenario.h"
@@ -54,6 +59,36 @@ struct Args {
   std::string fault_plan;  // fault::FaultPlan::parse spec; empty = none
 };
 
+/// Resolves --fault-plan=@PATH to the file's contents. The file is the
+/// authoritative fault schedule: failing to read it must kill the run,
+/// not degrade it into a fault-free simulation whose clean report would
+/// be mistaken for resilience.
+std::optional<std::string> read_fault_plan_file(const std::string& path) {
+  if (path.empty()) {
+    std::fprintf(stderr, "--fault-plan=@ expects a file path after '@'\n");
+    return std::nullopt;
+  }
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    std::fprintf(stderr, "cannot read fault plan file '%s'\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) {
+    std::fprintf(stderr, "error reading fault plan file '%s'\n", path.c_str());
+    return std::nullopt;
+  }
+  std::string spec = contents.str();
+  const auto first = spec.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) {
+    std::fprintf(stderr, "fault plan file '%s' is empty\n", path.c_str());
+    return std::nullopt;
+  }
+  spec = spec.substr(first, spec.find_last_not_of(" \t\r\n") - first + 1);
+  return spec;
+}
+
 std::optional<Args> parse(int argc, char** argv) {
   Args a;
   for (int i = 1; i < argc; ++i) {
@@ -74,7 +109,14 @@ std::optional<Args> parse(int argc, char** argv) {
       else if (key == "duration-ms") a.duration_ms = std::stod(val);
       else if (key == "seed") a.seed = std::stoull(val);
       else if (key == "csv") a.csv = val;
-      else if (key == "fault-plan") a.fault_plan = val;
+      else if (key == "fault-plan") {
+        if (val.empty()) {
+          // An empty value must not silently run fault-free.
+          std::fprintf(stderr, "--fault-plan needs a spec or @file\n");
+          return std::nullopt;
+        }
+        a.fault_plan = val;
+      }
       else {
         std::fprintf(stderr, "unknown option: --%s\n", key.c_str());
         return std::nullopt;
@@ -88,6 +130,11 @@ std::optional<Args> parse(int argc, char** argv) {
   if (a.sessions < 1 || a.rate_mbps <= 0 || a.duration_ms < 50) {
     std::fprintf(stderr, "need sessions >= 1, rate > 0, duration >= 50 ms\n");
     return std::nullopt;
+  }
+  if (!a.fault_plan.empty() && a.fault_plan.front() == '@') {
+    const auto spec = read_fault_plan_file(a.fault_plan.substr(1));
+    if (!spec) return std::nullopt;
+    a.fault_plan = *spec;
   }
   return a;
 }

@@ -38,6 +38,8 @@ struct Rig {
   g.deadline = spec.horizon;
   g.max_events = wd.max_events;
   g.max_events_per_instant = wd.max_events_per_instant;
+  g.progress_every = wd.progress_every;
+  g.on_progress = wd.on_progress;
   return g;
 }
 
@@ -66,8 +68,19 @@ const char* to_string(Verdict v) {
     case Verdict::kNoReconverge:  return "no-reconverge";
     case Verdict::kDifferential:  return "differential";
     case Verdict::kCrash:         return "crash";
+    case Verdict::kProcessCrash:  return "process-crash";
   }
   return "?";
+}
+
+std::optional<Verdict> verdict_from_string(const std::string& name) {
+  for (const Verdict v :
+       {Verdict::kPass, Verdict::kWatchdog, Verdict::kInvariant,
+        Verdict::kNoReconverge, Verdict::kDifferential, Verdict::kCrash,
+        Verdict::kProcessCrash}) {
+    if (name == to_string(v)) return v;
+  }
+  return std::nullopt;
 }
 
 Baseline run_baseline(const ScenarioSpec& spec, std::uint64_t seed,

@@ -22,6 +22,10 @@ namespace phantom::chaos {
 struct WatchdogLimits {
   std::uint64_t max_events = 50'000'000;
   std::uint64_t max_events_per_instant = 100'000;
+  /// Forwarded to sim::RunGuard: crash-safe progress streaming for the
+  /// isolation layer (0 = off). The hook observes only.
+  std::uint64_t progress_every = 0;
+  std::function<void(std::uint64_t)> on_progress;
 };
 
 struct OracleOptions {
@@ -54,10 +58,15 @@ enum class Verdict {
   kInvariant,     ///< InvariantMonitor recorded a violation
   kNoReconverge,  ///< fair share never returned to the pre-fault band in time
   kDifferential,  ///< end state disagrees with the fault-free run
-  kCrash,         ///< the simulation threw
+  kCrash,         ///< the simulation threw a C++ exception
+  kProcessCrash,  ///< the trial process died (signal, abort, rlimit, timeout)
 };
 
 [[nodiscard]] const char* to_string(Verdict v);
+/// Inverse of to_string; std::nullopt for an unknown name (used by the
+/// supervisor's checkpoint loader).
+[[nodiscard]] std::optional<Verdict> verdict_from_string(
+    const std::string& name);
 
 struct TrialResult {
   Verdict verdict = Verdict::kPass;
@@ -67,6 +76,12 @@ struct TrialResult {
   std::optional<sim::Time> reconverge_latency;  ///< from the first fault
   double settled_share_mbps = 0.0;  ///< mean share over the last 50 ms
   double peak_queue_cells = 0.0;
+
+  // kProcessCrash specifics, filled by the isolation layer (chaos/isolate)
+  // — an in-process run can never produce them.
+  std::string crash_signal;  ///< "SIGSEGV", ...; empty if the child exited
+  int exit_code = 0;         ///< child's exit code when it exited on its own
+  std::string stderr_tail;   ///< last bytes of the child's stderr (ASan etc.)
 
   [[nodiscard]] bool failed() const { return verdict != Verdict::kPass; }
 };

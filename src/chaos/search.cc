@@ -1,6 +1,9 @@
 #include "chaos/search.h"
 
-#include <cstdio>
+#include <utility>
+
+#include "chaos/json.h"
+#include "chaos/supervisor.h"
 
 namespace phantom::chaos {
 namespace {
@@ -20,48 +23,28 @@ namespace {
   return splitmix64(master ^ (0x6368616f73ULL + static_cast<std::uint64_t>(trial)));
 }
 
-[[nodiscard]] std::string fmt_double(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.6g", v);
-  return buf;
-}
-
-[[nodiscard]] std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (const char c : s) {
-    switch (c) {
-      case '"':  out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 void append_trial_result(std::string& out, const char* prefix,
                          const TrialResult& r) {
   out += std::string{"\""} + prefix + "verdict\": \"" + to_string(r.verdict) +
          "\", ";
   out += std::string{"\""} + prefix + "detail\": \"" + json_escape(r.detail) +
          "\", ";
+  if (r.verdict == Verdict::kProcessCrash) {
+    out += std::string{"\""} + prefix + "crash_signal\": \"" +
+           json_escape(r.crash_signal) + "\", ";
+    out += std::string{"\""} + prefix + "exit_code\": " +
+           std::to_string(r.exit_code) + ", ";
+    out += std::string{"\""} + prefix + "stderr_tail\": \"" +
+           json_escape(r.stderr_tail) + "\", ";
+  }
 }
 
 }  // namespace
 
 std::string SearchReport::to_json() const {
   std::string out = "{\n";
-  out += "  \"scenario\": {\"kind\": \"" + to_string(spec.kind) +
-         "\", \"algorithm\": \"" + exp::to_string(spec.algorithm) +
+  out += "  \"scenario\": {\"kind\": \"" + json_escape(to_string(spec.kind)) +
+         "\", \"algorithm\": \"" + json_escape(exp::to_string(spec.algorithm)) +
          "\", \"sessions\": " + std::to_string(spec.sessions) +
          ", \"rate_mbps\": " + fmt_double(spec.rate_mbps) +
          ", \"horizon_ms\": " + fmt_double(spec.horizon.milliseconds()) +
@@ -74,6 +57,8 @@ std::string SearchReport::to_json() const {
          ",\n";
   out += "  \"trials_run\": " + std::to_string(trials_run) + ",\n";
   out += "  \"passed\": " + std::to_string(passed) + ",\n";
+  out += std::string{"  \"interrupted\": "} + (interrupted ? "true" : "false") +
+         ",\n";
   out += "  \"failures\": [";
   for (std::size_t i = 0; i < failures.size(); ++i) {
     const Failure& f = failures[i];
@@ -87,7 +72,23 @@ std::string SearchReport::to_json() const {
     out += "\"shrink_probes\": " + std::to_string(f.shrink_probes) + ", ";
     out += "\"replay\": \"" + json_escape(cli_replay(f)) + "\"}";
   }
-  out += failures.empty() ? "]\n" : "\n  ]\n";
+  out += failures.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"failure_classes\": [";
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const TriagedClass& c = classes[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"fingerprint\": \"" + json_escape(c.fingerprint) + "\", ";
+    out += "\"verdict\": \"" + std::string{to_string(c.verdict)} + "\", ";
+    out += "\"signal\": \"" + json_escape(c.signal) + "\", ";
+    out += "\"count\": " + std::to_string(c.trials.size()) + ", ";
+    out += "\"trials\": [";
+    for (std::size_t t = 0; t < c.trials.size(); ++t) {
+      out += (t == 0 ? "" : ", ") + std::to_string(c.trials[t]);
+    }
+    out += "], ";
+    out += "\"sample_detail\": \"" + json_escape(c.sample_detail) + "\"}";
+  }
+  out += classes.empty() ? "]\n" : "\n  ]\n";
   out += "}\n";
   return out;
 }
@@ -111,38 +112,85 @@ SearchReport run_search(const ScenarioSpec& spec, const SearchOptions& opt) {
   const Baseline baseline = run_baseline(spec, opt.seed, opt.trial);
   report.baseline_share_mbps = baseline.settled_share_bps * 1e-6;
 
-  for (int trial = 0; trial < opt.trials; ++trial) {
-    if (static_cast<int>(report.failures.size()) >= opt.max_failures) break;
-    sim::Rng gen_rng{trial_gen_seed(opt.seed, trial)};
-    const fault::FaultPlan plan = generate_plan(gen_rng, spec, opt.gen);
-    const TrialResult result =
-        run_trial(spec, opt.seed, plan, opt.trial, &baseline);
+  // Every trial draws its plan from a private generator stream, so
+  // generating the whole schedule up front is exactly equivalent to
+  // generating lazily — and it is what lets the supervisor hand trials
+  // to children in any completion order while the report stays a pure
+  // function of (spec, options).
+  std::vector<fault::FaultPlan> plans;
+  plans.reserve(static_cast<std::size_t>(opt.trials));
+  for (int t = 0; t < opt.trials; ++t) {
+    sim::Rng gen_rng{trial_gen_seed(opt.seed, t)};
+    plans.push_back(generate_plan(gen_rng, spec, opt.gen));
+  }
+
+  std::vector<std::optional<TrialResult>> results;
+  if (opt.isolate) {
+    SupervisorOptions sup;
+    sup.jobs = opt.jobs;
+    sup.isolate = opt.isolation;
+    sup.checkpoint_path = opt.checkpoint;
+    Supervisor supervisor{spec, opt.seed, opt.trial, baseline, sup};
+    SupervisedOutcome outcome = supervisor.run(plans, opt.max_failures);
+    results = std::move(outcome.results);
+    report.interrupted = outcome.interrupted;
+    report.resumed = outcome.resumed;
+  } else {
+    results.resize(plans.size());
+    int failures = 0;
+    for (std::size_t t = 0; t < plans.size(); ++t) {
+      if (failures >= opt.max_failures) break;
+      results[t] = run_trial(spec, opt.seed, plans[t], opt.trial, &baseline);
+      if (results[t]->failed()) ++failures;
+    }
+  }
+
+  // Shrink probes honour the isolation setting: a minimization step
+  // that crashes or hangs the process must be as contained as the
+  // trial that found the bug.
+  const auto probe = [&](const fault::FaultPlan& p) {
+    return opt.isolate ? run_trial_isolated(spec, opt.seed, p, opt.trial,
+                                            &baseline, opt.isolation)
+                       : run_trial(spec, opt.seed, p, opt.trial, &baseline);
+  };
+
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    if (!results[t]) continue;  // past the cutoff, or interrupted
     ++report.trials_run;
-    if (!result.failed()) {
+    if (!results[t]->failed()) {
       ++report.passed;
       continue;
     }
-
     Failure f;
-    f.trial = trial;
-    f.plan = plan;
-    f.result = result;
-    f.shrunk_plan = plan;
-    if (opt.shrink) {
-      // "Still fails" means the same oracle fires — a plan that trips a
-      // *different* oracle is a different bug, not a smaller repro.
-      const auto still_fails = [&](const fault::FaultPlan& candidate) {
-        return run_trial(spec, opt.seed, candidate, opt.trial, &baseline)
-                   .verdict == result.verdict;
-      };
-      ShrinkResult s = shrink(plan, still_fails, opt.shrinker);
-      f.shrunk_plan = std::move(s.plan);
-      f.shrink_probes = s.probes;
+    f.trial = static_cast<int>(t);
+    f.plan = plans[t];
+    f.result = *results[t];
+    f.shrunk_plan = plans[t];
+    if (report.interrupted) {
+      // Drain fast: report the raw failure; a resumed run can shrink.
+      f.shrunk_result = f.result;
+    } else {
+      if (opt.shrink) {
+        // "Still fails" means the same oracle fires — a plan that trips a
+        // *different* oracle is a different bug, not a smaller repro.
+        const auto still_fails = [&](const fault::FaultPlan& candidate) {
+          return probe(candidate).verdict == f.result.verdict;
+        };
+        ShrinkResult s = shrink(plans[t], still_fails, opt.shrinker);
+        f.shrunk_plan = std::move(s.plan);
+        f.shrink_probes = s.probes;
+      }
+      f.shrunk_result = probe(f.shrunk_plan);
     }
-    f.shrunk_result =
-        run_trial(spec, opt.seed, f.shrunk_plan, opt.trial, &baseline);
     report.failures.push_back(std::move(f));
   }
+
+  std::vector<std::pair<int, const TrialResult*>> failing;
+  failing.reserve(report.failures.size());
+  for (const Failure& f : report.failures) {
+    failing.emplace_back(f.trial, &f.result);
+  }
+  report.classes = triage_failures(failing);
   return report;
 }
 

@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "chaos/generator.h"
+#include "chaos/isolate.h"
 #include "chaos/runner.h"
 #include "chaos/shrinker.h"
+#include "chaos/triage.h"
 
 namespace phantom::chaos {
 
@@ -25,6 +27,20 @@ struct SearchOptions {
   /// Stop searching after this many failures (each costs a shrink).
   int max_failures = 10;
   bool shrink = true;
+  /// Process isolation: run every trial — and every shrink probe — in a
+  /// forked, rlimited child (chaos/isolate), so a SIGSEGV, sanitizer
+  /// abort or OOM in the system under test becomes a kProcessCrash
+  /// failure instead of killing the search. Off by default in the
+  /// library API; phantom_chaos turns it on unless --no-isolate.
+  bool isolate = false;
+  /// Concurrent isolated trials (children); only meaningful with
+  /// `isolate`. The report is byte-identical for any jobs value.
+  int jobs = 1;
+  IsolateOptions isolation;
+  /// JSONL checkpoint path (isolation only); empty = no checkpointing.
+  /// An existing matching file resumes: completed trials are loaded
+  /// instead of re-run.
+  std::string checkpoint;
   GenOptions gen;
   TrialOptions trial;
   ShrinkOptions shrinker;
@@ -47,6 +63,14 @@ struct SearchReport {
   int passed = 0;
   double baseline_share_mbps = 0.0;
   std::vector<Failure> failures;
+  /// Failures deduplicated into unique classes (chaos/triage), ordered
+  /// by first occurrence.
+  std::vector<TriagedClass> classes;
+  /// SIGINT drained the supervised run; the report covers only the
+  /// trials that completed (resume via SearchOptions::checkpoint).
+  bool interrupted = false;
+  /// Trials loaded from the checkpoint instead of re-run.
+  int resumed = 0;
 
   [[nodiscard]] bool clean() const { return failures.empty(); }
 

@@ -1,0 +1,116 @@
+#include "chaos/triage.h"
+
+#include <cctype>
+
+namespace phantom::chaos {
+namespace {
+
+[[nodiscard]] bool is_hex_digit(char c) {
+  return std::isxdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Lines worth fingerprinting from assert/sanitizer output, in rough
+/// saliency order (the first match in the tail wins).
+constexpr const char* kSalientMarkers[] = {
+    "ERROR: AddressSanitizer",  // ASan header carries the bug kind
+    "ERROR: LeakSanitizer",
+    "WARNING: ThreadSanitizer",
+    "runtime error:",           // UBSan
+    "Assertion",                // glibc assert
+    "assertion",
+    "terminate called",         // uncaught C++ exception
+    "FATAL",
+};
+
+}  // namespace
+
+std::string normalize_failure_text(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '0' && i + 2 < text.size() && text[i + 1] == 'x' &&
+        is_hex_digit(text[i + 2])) {
+      out += '@';
+      i += 2;
+      while (i < text.size() && is_hex_digit(text[i])) ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      out += '#';
+      while (i < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[i])) != 0 ||
+              text[i] == '.')) {
+        ++i;
+      }
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!out.empty() && out.back() != ' ') out += ' ';
+      ++i;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::string salient_stderr_line(const std::string& stderr_tail) {
+  std::size_t start = 0;
+  while (start <= stderr_tail.size()) {
+    std::size_t end = stderr_tail.find('\n', start);
+    if (end == std::string::npos) end = stderr_tail.size();
+    const std::string line = stderr_tail.substr(start, end - start);
+    for (const char* marker : kSalientMarkers) {
+      if (line.find(marker) != std::string::npos) return line;
+    }
+    if (end == stderr_tail.size()) break;
+    start = end + 1;
+  }
+  return {};
+}
+
+std::string failure_fingerprint(const TrialResult& r) {
+  std::string fp = to_string(r.verdict);
+  if (r.verdict == Verdict::kProcessCrash) {
+    fp += "|" + (r.crash_signal.empty()
+                     ? "exit:" + std::to_string(r.exit_code)
+                     : r.crash_signal);
+    const std::string salient = salient_stderr_line(r.stderr_tail);
+    fp += "|" + normalize_failure_text(salient.empty() ? r.detail : salient);
+  } else {
+    fp += "||" + normalize_failure_text(r.detail);
+  }
+  return fp;
+}
+
+std::vector<TriagedClass> triage_failures(
+    const std::vector<std::pair<int, const TrialResult*>>& failures) {
+  std::vector<TriagedClass> classes;
+  for (const auto& [trial, result] : failures) {
+    const std::string fp = failure_fingerprint(*result);
+    TriagedClass* found = nullptr;
+    for (auto& c : classes) {
+      if (c.fingerprint == fp) {
+        found = &c;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      TriagedClass c;
+      c.fingerprint = fp;
+      c.verdict = result->verdict;
+      c.signal = result->crash_signal;
+      c.sample_detail = result->detail;
+      classes.push_back(std::move(c));
+      found = &classes.back();
+    }
+    found->trials.push_back(trial);
+  }
+  return classes;
+}
+
+}  // namespace phantom::chaos

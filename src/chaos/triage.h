@@ -1,0 +1,45 @@
+// Failure triage: deduplicating a pile of failing trials into unique
+// failure classes.
+//
+// A 500-trial soak that hits the same null-deref 40 times should read
+// "1 unique failure class (process-crash/SIGSEGV), 40 trials", not 40
+// near-identical entries. Failures are grouped by a fingerprint built
+// from (verdict, crash signal, normalized message): the salient line of
+// an assert/sanitizer report for process crashes, the oracle's detail
+// otherwise, with volatile specifics (counts, times, addresses) masked
+// so two instances of one bug fingerprint identically.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chaos/runner.h"
+
+namespace phantom::chaos {
+
+struct TriagedClass {
+  std::string fingerprint;
+  Verdict verdict = Verdict::kPass;
+  std::string signal;         ///< crash signal name, empty unless kProcessCrash
+  std::string sample_detail;  ///< detail of the first (representative) member
+  std::vector<int> trials;    ///< member trial indices, ascending
+};
+
+/// Masks volatile specifics in a failure message: hex addresses become
+/// '@', digit runs become '#', whitespace runs collapse to one space.
+[[nodiscard]] std::string normalize_failure_text(const std::string& text);
+
+/// The salient line of a crash's stderr: the first line mentioning a
+/// sanitizer error, runtime error or assert; empty when none matches.
+[[nodiscard]] std::string salient_stderr_line(const std::string& stderr_tail);
+
+/// The grouping key. Stable across reruns of a deterministic failure.
+[[nodiscard]] std::string failure_fingerprint(const TrialResult& r);
+
+/// Groups (trial index, result) pairs into classes, ordered by first
+/// occurrence. Passing trials must not be included by the caller.
+[[nodiscard]] std::vector<TriagedClass> triage_failures(
+    const std::vector<std::pair<int, const TrialResult*>>& failures);
+
+}  // namespace phantom::chaos

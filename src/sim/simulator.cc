@@ -105,6 +105,10 @@ RunOutcome Simulator::run_guarded(const RunGuard& guard) {
     now_ = time;
     callback();
     ++executed;
+    if (guard.progress_every != 0 && guard.on_progress &&
+        executed % guard.progress_every == 0) {
+      guard.on_progress(executed_ + executed);
+    }
     if (stopped_) {
       outcome = RunOutcome::kStopped;
       break;

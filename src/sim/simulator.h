@@ -41,6 +41,13 @@ struct RunGuard {
   /// `now()` forever would otherwise wedge the process).
   std::uint64_t max_events_per_instant =
       std::numeric_limits<std::uint64_t>::max();
+  /// Crash-safe progress hook: `on_progress(lifetime events_executed)`
+  /// fires after every `progress_every` events of this run (0 = never).
+  /// The chaos isolation layer streams these counts out of the trial
+  /// process, so a later SIGSEGV still reports how far the run got. The
+  /// hook must not schedule, cancel or stop — it observes only.
+  std::uint64_t progress_every = 0;
+  std::function<void(std::uint64_t)> on_progress;
 };
 
 /// Single-threaded discrete-event simulator.

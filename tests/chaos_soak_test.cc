@@ -8,7 +8,9 @@
 // nothing may ever wedge the simulator, violate an invariant, or crash.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <thread>
 #include <tuple>
 
 #include "chaos/search.h"
@@ -30,6 +32,11 @@ chaos::SearchReport soak(chaos::ScenarioSpec::Kind kind, exp::Algorithm alg) {
   opt.seed = 2026;
   opt.shrink = false;  // soak measures robustness, not repro minimality
   opt.max_failures = opt.trials;
+  // Soak the way the CLI runs: every trial in an isolated child, fanned
+  // out across cores. The report is byte-identical to a serial run.
+  opt.isolate = true;
+  opt.jobs = static_cast<int>(
+      std::clamp(std::thread::hardware_concurrency(), 1u, 8u));
   return chaos::run_search(spec, opt);
 }
 
