@@ -8,7 +8,7 @@
 //                 [--trials=T] [--seed=S] [--max-faults=K]
 //                 [--max-failures=F] [--shrink=0|1] [--json=PATH]
 //                 [--isolate|--no-isolate] [--jobs=N] [--timeout-ms=T]
-//                 [--resume=PATH]
+//                 [--resume=PATH] [--misbehave=0|1]
 //
 // Generates T randomized fault schedules for the scenario, runs each
 // under a watchdog (event/sim-time budgets, livelock detection), and
@@ -97,6 +97,9 @@ std::optional<Args> parse(int argc, char** argv) {
       else if (key == "isolate") a.search.isolate = std::stoi(val) != 0;
       else if (key == "timeout-ms") a.search.isolation.timeout_ms = std::stoll(val);
       else if (key == "resume") a.search.checkpoint = val;
+      // Opt-in so historical seeds/checkpoints keep their schedules:
+      // adds misbehave/comply pairs to the generated fault grammar.
+      else if (key == "misbehave") a.search.gen.misbehave = std::stoi(val) != 0;
       else {
         std::fprintf(stderr, "unknown option: --%s\n", key.c_str());
         return std::nullopt;

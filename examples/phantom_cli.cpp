@@ -5,6 +5,9 @@
 //               [--algorithm=phantom|eprca|aprc|capc|erica]
 //               [--sessions=N] [--rate-mbps=R] [--duration-ms=D]
 //               [--seed=S] [--csv=PREFIX] [--fault-plan=SPEC]
+//               [--validate-only]
+//               [--adversaries=N] [--adversary-mode=greedy|forge|partial]
+//               [--compliance=C] [--policing=off|monitor|tag|drop]
 //
 // Runs the scenario, prints the per-session goodput table, fairness
 // index and queue statistics, and (with --csv) writes the fair-share
@@ -19,6 +22,16 @@
 // --fault-plan=@PATH reads the spec from a file instead; a missing,
 // unreadable or empty file is a hard error (exit 2), never a silent
 // run with no faults.
+//
+// --validate-only parses the plan and resolves every target against the
+// scenario topology without running the simulation: exit 0 if the plan
+// would load, 1 with the parser/validator message (1-based event
+// positions) on stderr otherwise.
+//
+// --adversaries=N makes the last N sessions misbehave per
+// --adversary-mode (ER-ignoring greedy, RM-forging, or partially
+// compliant with --compliance). --policing arms a per-VC GCRA policer
+// at every switch ingress (see atm/policer.h) in the given action mode.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +41,8 @@
 #include <sstream>
 #include <string>
 
+#include "atm/abr_source.h"
+#include "atm/policer.h"
 #include "chaos/scenario.h"
 #include "exp/factories.h"
 #include "exp/probes.h"
@@ -57,6 +72,11 @@ struct Args {
   std::uint64_t seed = 1;
   std::string csv;         // prefix; empty = no dump
   std::string fault_plan;  // fault::FaultPlan::parse spec; empty = none
+  bool validate_only = false;        // parse + validate plan, don't run
+  int adversaries = 0;               // last N sessions misbehave
+  std::string adversary_mode = "greedy";  // greedy | forge | partial
+  double compliance = 0.5;           // partial mode: fraction of ER honoured
+  std::string policing = "off";      // off | monitor | tag | drop
 };
 
 /// Resolves --fault-plan=@PATH to the file's contents. The file is the
@@ -93,6 +113,10 @@ std::optional<Args> parse(int argc, char** argv) {
   Args a;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--validate-only") {  // the one bare flag
+      a.validate_only = true;
+      continue;
+    }
     const auto eq = arg.find('=');
     if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
       std::fprintf(stderr, "bad argument: %s (want --key=value)\n",
@@ -117,6 +141,10 @@ std::optional<Args> parse(int argc, char** argv) {
         }
         a.fault_plan = val;
       }
+      else if (key == "adversaries") a.adversaries = std::stoi(val);
+      else if (key == "adversary-mode") a.adversary_mode = val;
+      else if (key == "compliance") a.compliance = std::stod(val);
+      else if (key == "policing") a.policing = val;
       else {
         std::fprintf(stderr, "unknown option: --%s\n", key.c_str());
         return std::nullopt;
@@ -129,6 +157,29 @@ std::optional<Args> parse(int argc, char** argv) {
   }
   if (a.sessions < 1 || a.rate_mbps <= 0 || a.duration_ms < 50) {
     std::fprintf(stderr, "need sessions >= 1, rate > 0, duration >= 50 ms\n");
+    return std::nullopt;
+  }
+  if (a.adversaries < 0 || a.adversaries > a.sessions) {
+    std::fprintf(stderr, "need 0 <= adversaries <= sessions\n");
+    return std::nullopt;
+  }
+  if (a.adversary_mode != "greedy" && a.adversary_mode != "forge" &&
+      a.adversary_mode != "partial") {
+    std::fprintf(stderr, "unknown adversary mode: %s\n",
+                 a.adversary_mode.c_str());
+    return std::nullopt;
+  }
+  if (a.compliance < 0.0 || a.compliance > 1.0) {
+    std::fprintf(stderr, "compliance must be in [0, 1]\n");
+    return std::nullopt;
+  }
+  if (a.policing != "off" && a.policing != "monitor" && a.policing != "tag" &&
+      a.policing != "drop") {
+    std::fprintf(stderr, "unknown policing action: %s\n", a.policing.c_str());
+    return std::nullopt;
+  }
+  if (a.validate_only && a.fault_plan.empty()) {
+    std::fprintf(stderr, "--validate-only needs --fault-plan\n");
     return std::nullopt;
   }
   if (!a.fault_plan.empty() && a.fault_plan.front() == '@') {
@@ -235,6 +286,26 @@ int run_abr_scenario(const Args& args, exp::Algorithm alg) {
   spec.rate_mbps = args.rate_mbps;
   spec.horizon = Time::from_seconds(args.duration_ms / 1e3);
 
+  if (args.validate_only) {
+    // Dry run: parse the plan and resolve every target against the real
+    // topology (eager validation), but never start the clock. Exit 0
+    // iff the plan would load; errors keep their 1-based positions.
+    try {
+      const fault::FaultPlan p = fault::FaultPlan::parse(args.fault_plan);
+      sim::Simulator sim{args.seed};
+      topo::AbrNetwork net{sim, spec.factory()};
+      chaos::build_topology(spec, net);
+      fault::FaultInjector injector{sim, net};
+      injector.apply(p, fault::FaultInjector::ValidateMode::kEager);
+      std::printf("fault plan OK: %zu event%s\n", p.events.size(),
+                  p.events.size() == 1 ? "" : "s");
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
+
   std::optional<fault::FaultPlan> plan;
   if (!args.fault_plan.empty()) {
     try {
@@ -248,6 +319,28 @@ int run_abr_scenario(const Args& args, exp::Algorithm alg) {
   sim::Simulator sim{args.seed};
   topo::AbrNetwork net{sim, spec.factory()};
   atm::OutputPort& bottleneck = chaos::build_topology(spec, net);
+
+  if (args.adversaries > 0) {
+    // The last N sessions turn hostile; compliant ones keep low indices
+    // so their goodput rows are easy to eyeball in the table.
+    const auto mode = args.adversary_mode == "greedy"
+                          ? atm::SourceBehavior::kGreedy
+                          : args.adversary_mode == "forge"
+                                ? atm::SourceBehavior::kForging
+                                : atm::SourceBehavior::kPartial;
+    for (int i = 0; i < args.adversaries; ++i) {
+      net.set_session_behavior(
+          static_cast<std::size_t>(args.sessions - 1 - i), mode,
+          args.compliance);
+    }
+  }
+  if (args.policing != "off") {
+    atm::PolicerConfig pc;
+    pc.action = args.policing == "monitor" ? atm::PolicingAction::kMonitor
+                : args.policing == "tag"   ? atm::PolicingAction::kTag
+                                           : atm::PolicingAction::kDrop;
+    net.enable_policing(pc);
+  }
 
   std::optional<FaultHarness> faults;
   if (plan) {
@@ -277,6 +370,36 @@ int run_abr_scenario(const Args& args, exp::Algorithm alg) {
   exp::print_header("cli:" + args.scenario, detail);
   report_abr(sim, net, bottleneck, args, queue.trace(),
              faults ? &*faults : nullptr);
+  if (args.adversaries > 0) {
+    std::printf("adversaries: %d (%s", args.adversaries,
+                args.adversary_mode.c_str());
+    if (args.adversary_mode == "partial") {
+      std::printf(", compliance %.2f", args.compliance);
+    }
+    std::printf("), rm cells sanitized %llu\n",
+                static_cast<unsigned long long>(net.rm_cells_sanitized()));
+  }
+  if (args.policing != "off") {
+    std::uint64_t checked = 0, nonconforming = 0, tagged = 0, dropped = 0;
+    for (std::size_t s = 0; s < net.num_switches(); ++s) {
+      const atm::Policer* p = net.node(s).policer();
+      if (p == nullptr) continue;
+      checked += p->cells_checked();
+      nonconforming += p->cells_nonconforming();
+      tagged += p->cells_tagged();
+      dropped += p->cells_dropped();
+    }
+    std::printf(
+        "policing (%s): checked %llu, violations %llu (%.2f%%), tagged %llu, "
+        "dropped %llu\n",
+        args.policing.c_str(), static_cast<unsigned long long>(checked),
+        static_cast<unsigned long long>(nonconforming),
+        checked > 0 ? 100.0 * static_cast<double>(nonconforming) /
+                          static_cast<double>(checked)
+                    : 0.0,
+        static_cast<unsigned long long>(tagged),
+        static_cast<unsigned long long>(dropped));
+  }
   return 0;
 }
 

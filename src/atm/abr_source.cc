@@ -5,6 +5,16 @@
 
 namespace phantom::atm {
 
+std::string to_string(SourceBehavior b) {
+  switch (b) {
+    case SourceBehavior::kCompliant: return "compliant";
+    case SourceBehavior::kGreedy: return "greedy";
+    case SourceBehavior::kForging: return "forge";
+    case SourceBehavior::kPartial: return "partial";
+  }
+  return "?";
+}
+
 AbrSource::AbrSource(sim::Simulator& sim, int vc, AbrParams params,
                      Link to_network)
     : sim_{&sim},
@@ -30,12 +40,59 @@ void AbrSource::start(sim::Time at) {
   });
 }
 
+Cell AbrSource::make_forward_rm() const {
+  if (behavior_ == SourceBehavior::kForging) {
+    // Understate CCR (so rate-learning baselines are steered low) and
+    // inflate ER far beyond anything the source could claim honestly.
+    // Switches only ever *reduce* ER, so nothing downstream repairs it.
+    return Cell::forward_rm(vc_, params_.mcr, params_.pcr * 10.0);
+  }
+  return Cell::forward_rm(vc_, effective_rate(), params_.pcr);
+}
+
 void AbrSource::emit_forward_rm() {
-  Cell cell = Cell::forward_rm(vc_, effective_rate(), params_.pcr);
+  Cell cell = make_forward_rm();
   cell.sent_at = sim_->now();
   ++rm_sent_;
   last_rm_sent_ = sim_->now();
   link_.deliver(cell);
+}
+
+void AbrSource::emit_forged_backward_rm() {
+  // A forger injects backward RM cells claiming the path is idle
+  // (CI clear, huge ER). They are self-addressed: the ingress switch
+  // runs them through the forward port's controller (poisoning any
+  // state the algorithm keeps about backward traffic) and then routes
+  // them straight back here, where apply_backward_rm's huge ER lets
+  // the additive-increase clamp pass unhindered.
+  Cell cell;
+  cell.kind = CellKind::kBackwardRm;
+  cell.vc = vc_;
+  cell.ccr = params_.pcr;
+  cell.er = params_.pcr * 10.0;
+  cell.ci = false;
+  cell.sent_at = sim_->now();
+  ++rm_sent_;
+  ++forged_brm_sent_;
+  link_.deliver(cell);
+}
+
+void AbrSource::set_behavior(SourceBehavior behavior, double compliance) {
+  behavior_ = behavior;
+  compliance_ = std::clamp(compliance, 0.0, 1.0);
+  switch (behavior_) {
+    case SourceBehavior::kGreedy:
+    case SourceBehavior::kForging:
+      // A defector doesn't wait for permission: jump straight to PCR.
+      set_acr(params_.pcr);
+      break;
+    case SourceBehavior::kCompliant:
+      // A reformed defector must not keep its ill-gotten rate.
+      set_acr(params_.icr);
+      break;
+    case SourceBehavior::kPartial:
+      break;  // keeps adapting from wherever it is
+  }
 }
 
 void AbrSource::on_trm_check() {
@@ -63,7 +120,9 @@ void AbrSource::set_active(bool active) {
   const sim::Time idle = sim_->now() - last_send_;
   const sim::Time timeout =
       acr_.transmission_time(kCellBits * params_.nrm) * params_.tof;
-  if (idle > timeout && acr_ > params_.icr) {
+  const bool obeys_uili = behavior_ == SourceBehavior::kCompliant ||
+                          behavior_ == SourceBehavior::kPartial;
+  if (obeys_uili && idle > timeout && acr_ > params_.icr) {
     set_acr(params_.icr);
   }
   if (started_ && !sending_) {
@@ -83,9 +142,10 @@ void AbrSource::send_next_cell() {
   const sim::Rate effective = effective_rate();
   Cell cell;
   if (cells_since_rm_ == 0) {
-    cell = Cell::forward_rm(vc_, effective, params_.pcr);
+    cell = make_forward_rm();
     ++rm_sent_;
     last_rm_sent_ = sim_->now();
+    if (behavior_ == SourceBehavior::kForging) emit_forged_backward_rm();
   } else {
     cell = Cell::data(vc_);
     ++data_sent_;
@@ -114,13 +174,29 @@ void AbrSource::receive_cell(Cell cell) {
 }
 
 void AbrSource::apply_backward_rm(const Cell& cell) {
+  if (behavior_ == SourceBehavior::kGreedy ||
+      behavior_ == SourceBehavior::kForging) {
+    // Feedback? What feedback. Pin ACR at PCR regardless.
+    set_acr(params_.pcr);
+    return;
+  }
   sim::Rate next = acr_;
   if (cell.ci) {
     next = next * (1.0 - static_cast<double>(params_.nrm) / params_.rdf);
   } else {
     next = next + params_.air_nrm;
   }
-  next = std::min(next, cell.er);
+  sim::Rate er = cell.er;
+  if (behavior_ == SourceBehavior::kPartial) {
+    // Obeys the ER only partially: the effective cap is relaxed toward
+    // PCR by (1 - compliance). compliance = 1 is TM 4.0; 0 ignores ER.
+    er = std::min(
+        sim::Rate::bps(er.bits_per_sec() +
+                       (1.0 - compliance_) *
+                           (params_.pcr.bits_per_sec() - er.bits_per_sec())),
+        params_.pcr);
+  }
+  next = std::min(next, er);
   next = std::min(next, params_.pcr);
   next = std::max(next, params_.mcr);
   next = std::max(next, params_.tcr);  // keep probing even when beaten down

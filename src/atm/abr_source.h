@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "atm/abr_params.h"
 #include "atm/cell.h"
@@ -12,6 +13,21 @@
 #include "sim/trace.h"
 
 namespace phantom::atm {
+
+/// How a source treats the network's rate feedback. Everything except
+/// kCompliant models a misbehaving end system the policing layer must
+/// contain (Phantom itself, like all ER-based ABR control, has no
+/// defense of its own against a source that simply ignores the ER
+/// field).
+enum class SourceBehavior {
+  kCompliant,  ///< TM 4.0 behaviour (the default)
+  kGreedy,     ///< ignores ER/CI entirely and transmits at PCR
+  kForging,    ///< greedy, plus forged RM cells: understated CCR,
+               ///< inflated ER, and self-addressed backward RM cells
+  kPartial,    ///< obeys ER scaled by a compliance factor in [0, 1]
+};
+
+[[nodiscard]] std::string to_string(SourceBehavior b);
 
 /// Source end system per the TM 4.0 subset the paper's simulations use:
 ///
@@ -45,6 +61,17 @@ class AbrSource final : public CellSink {
   /// greedy.
   void set_demand(sim::Rate demand);
 
+  /// Switches the source's feedback behaviour mid-run (the chaos
+  /// `misbehave`/`comply` faults). Defecting to kGreedy/kForging jumps
+  /// ACR straight to PCR; returning to kCompliant re-enters at ICR (a
+  /// reformed defector must not keep its ill-gotten rate).
+  /// `compliance` is only meaningful for kPartial: 1 = fully compliant,
+  /// 0 = ignores ER entirely.
+  void set_behavior(SourceBehavior behavior, double compliance = 1.0);
+
+  [[nodiscard]] SourceBehavior behavior() const { return behavior_; }
+  [[nodiscard]] double compliance() const { return compliance_; }
+
   /// Receives backward RM cells addressed to this source's VC.
   void receive_cell(Cell cell) override;
 
@@ -63,6 +90,8 @@ class AbrSource final : public CellSink {
   [[nodiscard]] std::uint64_t data_cells_sent() const { return data_sent_; }
   [[nodiscard]] std::uint64_t rm_cells_sent() const { return rm_sent_; }
   [[nodiscard]] std::uint64_t brm_cells_received() const { return brm_received_; }
+  /// Self-addressed forged backward RM cells emitted while kForging.
+  [[nodiscard]] std::uint64_t forged_brm_sent() const { return forged_brm_sent_; }
 
   /// ACR over time; recorded at every rate change (the paper's
   /// "sessions' allowed rate" curves).
@@ -74,6 +103,8 @@ class AbrSource final : public CellSink {
   void on_trm_check();
   void apply_backward_rm(const Cell& cell);
   void set_acr(sim::Rate r);
+  [[nodiscard]] Cell make_forward_rm() const;
+  void emit_forged_backward_rm();
 
   sim::Simulator* sim_;
   int vc_;
@@ -92,6 +123,9 @@ class AbrSource final : public CellSink {
   sim::Time last_send_ = sim::Time::zero();
   sim::Time last_rm_sent_ = sim::Time::zero();
   std::uint64_t epoch_ = 0;        // invalidates stale pacing events
+  SourceBehavior behavior_ = SourceBehavior::kCompliant;
+  double compliance_ = 1.0;        // kPartial only: 1 = obeys ER fully
+  std::uint64_t forged_brm_sent_ = 0;
   sim::Trace acr_trace_;
 };
 

@@ -36,6 +36,10 @@ struct Cell {
   /// Guaranteed-class (CBR/VBR) cell: strict-priority ports serve it
   /// ahead of ABR traffic.
   bool high_priority = false;
+  /// Cell Loss Priority: set by a policer tagging a non-conforming cell;
+  /// tagged cells are dropped first when a port queue passes its CLP
+  /// threshold (partial buffer sharing).
+  bool clp = false;
   /// Source transmission time; destinations derive end-to-end delay.
   sim::Time sent_at;
 

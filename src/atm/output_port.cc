@@ -21,8 +21,13 @@ OutputPort::OutputPort(sim::Simulator& sim, sim::Rate rate,
 }
 
 void OutputPort::send(Cell cell) {
-  if (queue_length() >= queue_limit_) {
+  const bool clp_overflow = cell.clp && queue_length() >= clp_threshold_;
+  if (queue_length() >= queue_limit_ || clp_overflow) {
     ++dropped_;
+    if (clp_overflow && queue_length() < queue_limit_) ++clp_dropped_;
+    // Either way the drop goes through the controller: queue-pressure
+    // drops are offered load the algorithm must see [Sat96 counts every
+    // arrival, served or not].
     controller_->on_cell_dropped(cell);
     return;
   }

@@ -52,6 +52,17 @@ class OutputPort {
   [[nodiscard]] sim::Rate rate() const { return rate_; }
   [[nodiscard]] std::size_t queue_limit() const { return queue_limit_; }
 
+  /// Partial buffer sharing: once the queue holds at least `threshold`
+  /// cells, CLP-tagged (policer-marked) arrivals are dropped instead of
+  /// queued, so a tag-mode policer costs violators buffer space under
+  /// pressure while untagged traffic still gets the full queue_limit.
+  /// Default SIZE_MAX = tagged cells are treated like any other.
+  void set_clp_threshold(std::size_t threshold) { clp_threshold_ = threshold; }
+  [[nodiscard]] std::size_t clp_threshold() const { return clp_threshold_; }
+  /// CLP-tagged cells dropped by the partial-buffer-sharing threshold
+  /// (a subset of cells_dropped()).
+  [[nodiscard]] std::uint64_t clp_cells_dropped() const { return clp_dropped_; }
+
   /// The link this port transmits onto — the fault subsystem drives
   /// outages/loss through its shared state, and the invariant monitor
   /// reads its aggregate counters.
@@ -78,6 +89,8 @@ class OutputPort {
   std::deque<Cell>* serving_ = nullptr;  // queue of the cell on the wire
   bool transmitting_ = false;
   std::size_t max_queue_ = 0;
+  std::size_t clp_threshold_ = SIZE_MAX;
+  std::uint64_t clp_dropped_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t transmitted_ = 0;
   std::uint64_t accepted_ = 0;

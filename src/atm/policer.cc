@@ -1,0 +1,81 @@
+#include "atm/policer.h"
+
+#include <algorithm>
+
+namespace phantom::atm {
+
+std::string to_string(PolicingAction a) {
+  switch (a) {
+    case PolicingAction::kMonitor: return "monitor";
+    case PolicingAction::kTag: return "tag";
+    case PolicingAction::kDrop: return "drop";
+  }
+  return "?";
+}
+
+Policer::Verdict Policer::check(const Cell& cell, sim::Rate fair_share,
+                                sim::Time now) {
+  // Out of scope for UPC: guaranteed-class cells have their own
+  // contract, backward RM cells belong to the *reverse* direction's
+  // traffic, and a port with no fair-share estimate (uncontrolled) has
+  // no reference rate to police against.
+  if (cell.high_priority || cell.kind == CellKind::kBackwardRm ||
+      fair_share.is_zero()) {
+    return Verdict::kPass;
+  }
+
+  const sim::Rate allowed =
+      std::max(config_.floor, fair_share * config_.headroom);
+  const sim::Time increment = allowed.transmission_time(kCellBits);
+
+  VcState& vc = vcs_[cell.vc];
+  if (now >= vc.tat - config_.tolerance) {
+    // Conforming: push the theoretical arrival time one inter-cell gap
+    // past max(now, TAT) — the virtual-scheduling GCRA update.
+    vc.tat = std::max(now, vc.tat) + increment;
+    ++vc.stats.conforming;
+    ++total_.conforming;
+    return Verdict::kPass;
+  }
+
+  // Non-conforming. The TAT is deliberately *not* advanced: a violator
+  // gains no future credit from cells the contract didn't cover.
+  ++vc.stats.nonconforming;
+  ++total_.nonconforming;
+  switch (config_.action) {
+    case PolicingAction::kMonitor:
+      return Verdict::kPass;
+    case PolicingAction::kTag:
+      ++vc.stats.tagged;
+      ++total_.tagged;
+      return Verdict::kTag;
+    case PolicingAction::kDrop:
+      ++vc.stats.dropped;
+      ++total_.dropped;
+      return Verdict::kDrop;
+  }
+  return Verdict::kPass;
+}
+
+Policer::VcStats Policer::vc_stats(int vc) const {
+  const auto it = vcs_.find(vc);
+  return it == vcs_.end() ? VcStats{} : it->second.stats;
+}
+
+double Policer::violation_rate() const {
+  const std::uint64_t checked = cells_checked();
+  return checked == 0
+             ? 0.0
+             : static_cast<double>(total_.nonconforming) /
+                   static_cast<double>(checked);
+}
+
+double Policer::violation_rate(int vc) const {
+  const VcStats s = vc_stats(vc);
+  const std::uint64_t checked = s.conforming + s.nonconforming;
+  return checked == 0 ? 0.0
+                      : static_cast<double>(s.nonconforming) /
+                            static_cast<double>(checked);
+}
+
+}  // namespace phantom::atm

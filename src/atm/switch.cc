@@ -1,6 +1,7 @@
 #include "atm/switch.h"
 
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 namespace phantom::atm {
@@ -25,6 +26,37 @@ void Switch::route_vc(int vc, std::size_t forward_port,
   }
 }
 
+void Switch::enable_policing(PolicerConfig config) {
+  policer_ = std::make_unique<Policer>(config);
+}
+
+void Switch::sanitize_rm(Cell& cell, sim::Rate link_rate) {
+  // A switch must never let a hostile RM field reach controller state:
+  // EPRCA-family algorithms *learn* from CCR, and NaN survives every
+  // std::min along a feedback chain. ER claims above the physical link
+  // rate are meaningless (the port cannot serve them) and are exactly
+  // what a forger inflates; claims below zero (or NaN) would wedge the
+  // source's ACR clamp.
+  bool touched = false;
+  const double er = cell.er.bits_per_sec();
+  if (std::isnan(er) || er > link_rate.bits_per_sec()) {
+    cell.er = link_rate;
+    touched = true;
+  } else if (er < 0.0) {
+    cell.er = sim::Rate::zero();
+    touched = true;
+  }
+  const double ccr = cell.ccr.bits_per_sec();
+  if (std::isnan(ccr) || ccr < 0.0) {
+    cell.ccr = sim::Rate::zero();
+    touched = true;
+  } else if (ccr > link_rate.bits_per_sec()) {
+    cell.ccr = link_rate;
+    touched = true;
+  }
+  if (touched) ++rm_sanitized_;
+}
+
 void Switch::receive_cell(Cell cell) {
   const auto it = routes_.find(cell.vc);
   if (it == routes_.end()) {
@@ -33,6 +65,25 @@ void Switch::receive_cell(Cell cell) {
   }
   const Route route = it->second;
   OutputPort& fwd = *ports_[route.forward_port];
+  // ER/CCR refer to the forward direction either way, so the forward
+  // link's capacity is the sanity cap for both cell directions.
+  if (cell.is_rm()) sanitize_rm(cell, fwd.rate());
+  if (policer_ && cell.kind != CellKind::kBackwardRm) {
+    switch (policer_->check(cell, fwd.controller().fair_share(), sim_->now())) {
+      case Policer::Verdict::kPass:
+        break;
+      case Policer::Verdict::kTag:
+        cell.clp = true;
+        break;
+      case Policer::Verdict::kDrop:
+        // Discarded at ingress, before the port queue: enforcement
+        // drops do NOT feed the controller's offered-load measurement,
+        // so a policed violator stops inflating the apparent session
+        // count (that is the whole point of dropping here and not at
+        // the queue).
+        return;
+    }
+  }
   switch (cell.kind) {
     case CellKind::kData:
       fwd.send(cell);

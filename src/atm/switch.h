@@ -7,6 +7,7 @@
 
 #include "atm/cell.h"
 #include "atm/output_port.h"
+#include "atm/policer.h"
 #include "sim/simulator.h"
 
 namespace phantom::atm {
@@ -44,7 +45,27 @@ class Switch final : public CellSink {
   /// Cells that arrived for a VC with no route (counts a modelling bug).
   [[nodiscard]] std::uint64_t unrouted_cells() const { return unrouted_; }
 
+  /// Attaches a UPC policer at this switch's ingress: every forward
+  /// cell is GCRA-checked against its forward port's fair-share
+  /// estimate before it may enter the port queue. Replaces any policer
+  /// already attached.
+  void enable_policing(PolicerConfig config);
+
+  /// The attached policer, or nullptr when policing is off.
+  [[nodiscard]] Policer* policer() { return policer_.get(); }
+  [[nodiscard]] const Policer* policer() const { return policer_.get(); }
+
+  /// RM cells whose ER/CCR fields were clamped on ingest (negative,
+  /// NaN, or above the forward link's capacity) — forged or corrupted
+  /// feedback the switch refused to propagate into controller state.
+  [[nodiscard]] std::uint64_t rm_cells_sanitized() const {
+    return rm_sanitized_;
+  }
+
  private:
+  /// Clamps hostile RM field values before any controller sees them.
+  void sanitize_rm(Cell& cell, sim::Rate link_rate);
+
   struct Route {
     std::size_t forward_port;
     std::size_t backward_port;
@@ -55,6 +76,8 @@ class Switch final : public CellSink {
   std::vector<std::unique_ptr<OutputPort>> ports_;
   std::unordered_map<int, Route> routes_;
   std::uint64_t unrouted_ = 0;
+  std::unique_ptr<Policer> policer_;
+  std::uint64_t rm_sanitized_ = 0;
 };
 
 }  // namespace phantom::atm

@@ -67,7 +67,7 @@ FaultPlan generate_plan(sim::Rng& rng, const ScenarioSpec& spec,
       rng.uniform_int(opt.min_events, std::max(opt.min_events, opt.max_events)));
   while (static_cast<int>(plan.events.size()) < target_events) {
     const Time at = pick_ms(rng, lo_ms, hi_ms);
-    switch (rng.uniform_int(0, 5)) {
+    switch (rng.uniform_int(0, opt.misbehave ? 6 : 5)) {
       case 0:
         plan.outage(pick_link_target(rng, topo), at,
                     pick_ms(rng, 1, dur_ms));
@@ -101,6 +101,22 @@ FaultPlan generate_plan(sim::Rng& rng, const ScenarioSpec& spec,
             2, static_cast<std::int64_t>(opt.max_churn_gap.milliseconds()));
         plan.leave(s, at);
         plan.join(s, at + pick_ms(rng, 2, gap_ms));
+        break;
+      }
+      case 6: {
+        // Defection window: misbehave, then return to compliance after
+        // a churn-sized gap, so the end state matches the fault-free
+        // run (same contract as the leave/join pair).
+        const auto s = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(topo.sessions) - 1));
+        const auto gap_ms = std::max<std::int64_t>(
+            2, static_cast<std::int64_t>(opt.max_churn_gap.milliseconds()));
+        const auto mode =
+            static_cast<fault::MisbehaveMode>(rng.uniform_int(0, 2));
+        // Compliance on the two-decimal lattice keeps the round trip
+        // exact; only kPartial records it.
+        plan.misbehave(s, at, mode, pick_pct(rng, 10, 90));
+        plan.comply(s, at + pick_ms(rng, 2, gap_ms));
         break;
       }
     }

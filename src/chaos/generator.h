@@ -29,6 +29,11 @@ struct GenOptions {
   sim::Time max_duration = sim::Time::ms(40);   ///< outage/burst/RM window
   sim::Time max_churn_gap = sim::Time::ms(40);  ///< leave -> rejoin gap
   int max_flap_cycles = 3;
+  /// Include `misbehave` faults (source defection) in the sampled kind
+  /// mix. Opt-in: turning it on changes what every seed generates, so
+  /// the default preserves historical plans (and checkpoints) from
+  /// seeds recorded before this fault kind existed.
+  bool misbehave = false;
 };
 
 /// Samples a fault schedule for `spec`'s topology. Guarantees:

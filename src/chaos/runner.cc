@@ -192,7 +192,14 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed,
 
   // 4. Differential: same seed, same topology, no faults — the network
   // must settle to the same operating point, and faults must never
-  // *create* goodput.
+  // *create* goodput. Exception: a misbehave window legitimately
+  // creates cells (a greedy source fills the link past the controller's
+  // u-utilization target), so plans carrying one skip the delivered
+  // bound — the settled-share check still judges post-comply recovery.
+  bool plan_misbehaves = false;
+  for (const auto& e : plan.events) {
+    plan_misbehaves |= e.kind == fault::FaultEvent::Kind::kMisbehave;
+  }
   if (baseline != nullptr) {
     const double clean = baseline->settled_share_bps;
     const double faulted = r.settled_share_mbps * 1e6;
@@ -207,7 +214,7 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed,
     const auto limit = static_cast<std::uint64_t>(
         static_cast<double>(baseline->delivered_cells) *
         (1.0 + opt.oracle.delivered_slack));
-    if (delivered > limit) {
+    if (!plan_misbehaves && delivered > limit) {
       r.verdict = Verdict::kDifferential;
       r.detail = "delivered " + std::to_string(delivered) +
                  " cells, fault-free run delivered only " +

@@ -185,10 +185,13 @@ SearchReport run_search(const ScenarioSpec& spec, const SearchOptions& opt) {
     report.failures.push_back(std::move(f));
   }
 
-  std::vector<std::pair<int, const TrialResult*>> failing;
+  std::vector<std::tuple<int, const TrialResult*, const fault::FaultPlan*>>
+      failing;
   failing.reserve(report.failures.size());
   for (const Failure& f : report.failures) {
-    failing.emplace_back(f.trial, &f.result);
+    // Fingerprint against the *generated* plan: the shrunk plan may
+    // have dropped the misbehave events that define the class.
+    failing.emplace_back(f.trial, &f.result, &f.plan);
   }
   report.classes = triage_failures(failing);
   return report;

@@ -1,6 +1,7 @@
 #include "chaos/triage.h"
 
 #include <cctype>
+#include <set>
 
 namespace phantom::chaos {
 namespace {
@@ -87,11 +88,29 @@ std::string failure_fingerprint(const TrialResult& r) {
   return fp;
 }
 
+std::string failure_fingerprint(const TrialResult& r,
+                                const fault::FaultPlan* plan) {
+  if (plan != nullptr && r.verdict != Verdict::kProcessCrash) {
+    std::set<std::size_t> adversaries;
+    for (const fault::FaultEvent& e : plan->events) {
+      if (e.kind == fault::FaultEvent::Kind::kMisbehave) {
+        adversaries.insert(e.target.index);
+      }
+    }
+    if (!adversaries.empty()) {
+      return std::string{to_string(r.verdict)} + "|misbehave|" +
+             std::to_string(adversaries.size());
+    }
+  }
+  return failure_fingerprint(r);
+}
+
 std::vector<TriagedClass> triage_failures(
-    const std::vector<std::pair<int, const TrialResult*>>& failures) {
+    const std::vector<std::tuple<int, const TrialResult*,
+                                 const fault::FaultPlan*>>& failures) {
   std::vector<TriagedClass> classes;
-  for (const auto& [trial, result] : failures) {
-    const std::string fp = failure_fingerprint(*result);
+  for (const auto& [trial, result, plan] : failures) {
+    const std::string fp = failure_fingerprint(*result, plan);
     TriagedClass* found = nullptr;
     for (auto& c : classes) {
       if (c.fingerprint == fp) {
@@ -111,6 +130,17 @@ std::vector<TriagedClass> triage_failures(
     found->trials.push_back(trial);
   }
   return classes;
+}
+
+std::vector<TriagedClass> triage_failures(
+    const std::vector<std::pair<int, const TrialResult*>>& failures) {
+  std::vector<std::tuple<int, const TrialResult*, const fault::FaultPlan*>>
+      with_plans;
+  with_plans.reserve(failures.size());
+  for (const auto& [trial, result] : failures) {
+    with_plans.emplace_back(trial, result, nullptr);
+  }
+  return triage_failures(with_plans);
 }
 
 }  // namespace phantom::chaos

@@ -11,10 +11,12 @@
 #pragma once
 
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "chaos/runner.h"
+#include "fault/fault_plan.h"
 
 namespace phantom::chaos {
 
@@ -37,9 +39,26 @@ struct TriagedClass {
 /// The grouping key. Stable across reruns of a deterministic failure.
 [[nodiscard]] std::string failure_fingerprint(const TrialResult& r);
 
+/// Plan-aware grouping key: a trial whose plan schedules source
+/// defection fingerprints as "verdict|misbehave|N" (N = distinct
+/// misbehaving sessions), so every fairness/invariant failure caused by
+/// the same adversary pressure dedups into one class regardless of
+/// which oracle message fired first. Process crashes keep their
+/// signal-based fingerprint (the crash identity matters more than what
+/// provoked it), and a null or misbehave-free plan falls back to the
+/// plain fingerprint.
+[[nodiscard]] std::string failure_fingerprint(const TrialResult& r,
+                                              const fault::FaultPlan* plan);
+
 /// Groups (trial index, result) pairs into classes, ordered by first
 /// occurrence. Passing trials must not be included by the caller.
 [[nodiscard]] std::vector<TriagedClass> triage_failures(
     const std::vector<std::pair<int, const TrialResult*>>& failures);
+
+/// Plan-aware variant (see the plan-aware failure_fingerprint). Plans
+/// may be null, falling back to the message fingerprint per trial.
+[[nodiscard]] std::vector<TriagedClass> triage_failures(
+    const std::vector<std::tuple<int, const TrialResult*,
+                                 const fault::FaultPlan*>>& failures);
 
 }  // namespace phantom::chaos

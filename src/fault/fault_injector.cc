@@ -69,6 +69,8 @@ void FaultInjector::validate(const FaultEvent& e) const {
     }
     case K::kLeave:
     case K::kJoin:
+    case K::kMisbehave:
+    case K::kComply:
       check_session_live(e.target.index, "at plan load");
       break;
     case K::kCustom:
@@ -197,6 +199,43 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
       });
       break;
     }
+    case K::kMisbehave: {
+      const std::size_t s = e.target.index;
+      const MisbehaveMode mode = e.mode;
+      const double compliance = e.compliance;
+      sim_->schedule_at(e.at, [this, s, mode, compliance] {
+        check_session_live(s, "at activation");
+        atm::SourceBehavior behavior = atm::SourceBehavior::kGreedy;
+        switch (mode) {
+          case MisbehaveMode::kGreedy:
+            behavior = atm::SourceBehavior::kGreedy;
+            break;
+          case MisbehaveMode::kForge:
+            behavior = atm::SourceBehavior::kForging;
+            break;
+          case MisbehaveMode::kPartial:
+            behavior = atm::SourceBehavior::kPartial;
+            break;
+        }
+        net_->set_session_behavior(s, behavior, compliance);
+        std::string detail = "session " + std::to_string(s) +
+                             " misbehaves (" + to_string(mode);
+        if (mode == MisbehaveMode::kPartial) {
+          detail += " compliance=" + std::to_string(compliance);
+        }
+        record(detail + ")");
+      });
+      break;
+    }
+    case K::kComply: {
+      const std::size_t s = e.target.index;
+      sim_->schedule_at(e.at, [this, s] {
+        check_session_live(s, "at activation");
+        net_->set_session_behavior(s, atm::SourceBehavior::kCompliant);
+        record("session " + std::to_string(s) + " returns to compliance");
+      });
+      break;
+    }
     case K::kCustom: {
       auto action = e.action;
       const std::string label = e.label.empty() ? "custom" : e.label;
@@ -218,7 +257,9 @@ void FaultInjector::apply(const FaultPlan& plan, ValidateMode mode) {
     // action can never become valid later.
     for (const FaultEvent& e : plan.events) {
       if (e.kind != FaultEvent::Kind::kLeave &&
-          e.kind != FaultEvent::Kind::kJoin) {
+          e.kind != FaultEvent::Kind::kJoin &&
+          e.kind != FaultEvent::Kind::kMisbehave &&
+          e.kind != FaultEvent::Kind::kComply) {
         validate(e);
       }
     }

@@ -17,9 +17,20 @@ namespace {
     case FaultEvent::Kind::kRestart: return "restart";
     case FaultEvent::Kind::kLeave:   return "leave";
     case FaultEvent::Kind::kJoin:    return "join";
+    case FaultEvent::Kind::kMisbehave: return "misbehave";
+    case FaultEvent::Kind::kComply:  return "comply";
     case FaultEvent::Kind::kCustom:  return "custom";
   }
   return "?";
+}
+
+[[nodiscard]] MisbehaveMode parse_mode(const std::string& field) {
+  if (field == "greedy") return MisbehaveMode::kGreedy;
+  if (field == "forge") return MisbehaveMode::kForge;
+  if (field == "partial") return MisbehaveMode::kPartial;
+  throw std::invalid_argument{
+      "fault plan: unknown misbehave mode '" + field +
+      "' (want greedy, forge or partial)"};
 }
 
 [[nodiscard]] std::vector<std::string> split(const std::string& s, char sep) {
@@ -133,13 +144,23 @@ bool operator==(const FaultTarget& a, const FaultTarget& b) {
   return a.kind == b.kind && a.index == b.index;
 }
 
+std::string to_string(MisbehaveMode m) {
+  switch (m) {
+    case MisbehaveMode::kGreedy: return "greedy";
+    case MisbehaveMode::kForge: return "forge";
+    case MisbehaveMode::kPartial: return "partial";
+  }
+  return "?";
+}
+
 bool operator==(const FaultEvent& a, const FaultEvent& b) {
   return a.kind == b.kind && a.target == b.target && a.at == b.at &&
          a.duration == b.duration && a.down_period == b.down_period &&
          a.up_period == b.up_period && a.cycles == b.cycles &&
          a.p_good_bad == b.p_good_bad && a.p_bad_good == b.p_bad_good &&
          a.loss_bad == b.loss_bad && a.rm_loss == b.rm_loss &&
-         a.rm_corrupt == b.rm_corrupt && a.label == b.label;
+         a.rm_corrupt == b.rm_corrupt && a.mode == b.mode &&
+         a.compliance == b.compliance && a.label == b.label;
 }
 
 std::string FaultEvent::to_spec() const {
@@ -165,6 +186,13 @@ std::string FaultEvent::to_spec() const {
       return "leave:" + std::to_string(target.index) + ':' + format_ms(at);
     case Kind::kJoin:
       return "join:" + std::to_string(target.index) + ':' + format_ms(at);
+    case Kind::kMisbehave:
+      return "misbehave:" + std::to_string(target.index) + ':' +
+             format_ms(at) + ':' + to_string(mode) +
+             (mode == MisbehaveMode::kPartial ? ':' + format_num(compliance)
+                                              : std::string{});
+    case Kind::kComply:
+      return "comply:" + std::to_string(target.index) + ':' + format_ms(at);
     case Kind::kCustom:
       throw std::logic_error{
           "fault plan: custom event '" + label +
@@ -191,6 +219,11 @@ std::string FaultEvent::describe() const {
     case Kind::kFlap:
       out << " x" << cycles << " (" << down_period.to_string() << " down / "
           << up_period.to_string() << " up)";
+      break;
+    case Kind::kMisbehave:
+      out << " (" << fault::to_string(mode);
+      if (mode == MisbehaveMode::kPartial) out << " compliance=" << compliance;
+      out << ')';
       break;
     default:
       break;
@@ -272,6 +305,32 @@ FaultPlan& FaultPlan::leave(std::size_t session_index, sim::Time at) {
 FaultPlan& FaultPlan::join(std::size_t session_index, sim::Time at) {
   FaultEvent e;
   e.kind = FaultEvent::Kind::kJoin;
+  e.target = session(session_index);
+  e.at = at;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::misbehave(std::size_t session_index, sim::Time at,
+                                MisbehaveMode mode, double compliance) {
+  if (compliance < 0.0 || compliance > 1.0) {
+    throw std::invalid_argument{"misbehave: compliance must be in [0,1]"};
+  }
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kMisbehave;
+  e.target = session(session_index);
+  e.at = at;
+  e.mode = mode;
+  // Only kPartial carries a compliance factor; normalizing the others
+  // to zero keeps operator== and the parse(to_spec()) round trip exact.
+  e.compliance = mode == MisbehaveMode::kPartial ? compliance : 0.0;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::comply(std::size_t session_index, sim::Time at) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kComply;
   e.target = session(session_index);
   e.at = at;
   events.push_back(std::move(e));
@@ -375,11 +434,23 @@ void FaultPlan::parse_event(const std::string& item) {
     } else if (kind == "restart") {
       expect_fields(f, 3, 3, kind);
       plan.restart(parse_target(f[1]), parse_ms(f[2], "time"));
-    } else if (kind == "leave" || kind == "join") {
+    } else if (kind == "leave" || kind == "join" || kind == "comply") {
       expect_fields(f, 3, 3, kind);
       const std::size_t s = parse_session(f[1]);
       const sim::Time at = parse_ms(f[2], "time");
-      if (kind == "leave") plan.leave(s, at); else plan.join(s, at);
+      if (kind == "leave") {
+        plan.leave(s, at);
+      } else if (kind == "join") {
+        plan.join(s, at);
+      } else {
+        plan.comply(s, at);
+      }
+    } else if (kind == "misbehave") {
+      expect_fields(f, 4, 5, kind);
+      plan.misbehave(parse_session(f[1]), parse_ms(f[2], "time"),
+                     parse_mode(f[3]),
+                     f.size() == 5 ? parse_probability(f[4], "compliance")
+                                   : 0.0);
     } else {
       throw std::invalid_argument{"fault plan: unknown event kind '" + kind +
                                   "'"};

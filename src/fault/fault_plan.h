@@ -37,16 +37,28 @@ struct FaultTarget {
   return {FaultTarget::Kind::kSession, i};
 }
 
+/// How a session misbehaves (kMisbehave); mirrors atm::SourceBehavior
+/// without coupling the plan grammar to the ATM layer.
+enum class MisbehaveMode {
+  kGreedy,   ///< ignore ER/CI, transmit at PCR
+  kForge,    ///< greedy + forged RM cells (inflated ER, fake BRMs)
+  kPartial,  ///< obey ER scaled by a compliance factor
+};
+
+[[nodiscard]] std::string to_string(MisbehaveMode m);
+
 struct FaultEvent {
   enum class Kind {
-    kOutage,   ///< link drops everything during [at, at + duration)
-    kFlap,     ///< `cycles` down/up windows starting at `at`
-    kBurst,    ///< Gilbert–Elliott burst loss during [at, at + duration)
-    kRmFault,  ///< RM-only drop/corruption during [at, at + duration)
-    kRestart,  ///< wipe the port controller's learned state at `at`
-    kLeave,    ///< deactivate an ABR session at `at`
-    kJoin,     ///< (re)activate an ABR session at `at`
-    kCustom,   ///< run an arbitrary callback at `at` (programmatic only)
+    kOutage,     ///< link drops everything during [at, at + duration)
+    kFlap,       ///< `cycles` down/up windows starting at `at`
+    kBurst,      ///< Gilbert–Elliott burst loss during [at, at + duration)
+    kRmFault,    ///< RM-only drop/corruption during [at, at + duration)
+    kRestart,    ///< wipe the port controller's learned state at `at`
+    kLeave,      ///< deactivate an ABR session at `at`
+    kJoin,       ///< (re)activate an ABR session at `at`
+    kMisbehave,  ///< session defects from the feedback protocol at `at`
+    kComply,     ///< session returns to compliant behaviour at `at`
+    kCustom,     ///< run an arbitrary callback at `at` (programmatic only)
   };
 
   Kind kind = Kind::kOutage;
@@ -67,6 +79,10 @@ struct FaultEvent {
   // RM-targeted fault parameters (kRmFault).
   double rm_loss = 0.0;
   double rm_corrupt = 0.0;
+
+  // Misbehaving-source parameters (kMisbehave).
+  MisbehaveMode mode = MisbehaveMode::kGreedy;
+  double compliance = 0.0;  ///< kPartial only; always 0 otherwise
 
   /// kCustom hook: arbitrary scripted action (e.g. TCP flow churn, a
   /// demand change) on the same schedule as the built-in faults.
@@ -108,6 +124,12 @@ struct FaultPlan {
   FaultPlan& restart(FaultTarget t, sim::Time at);
   FaultPlan& leave(std::size_t session_index, sim::Time at);
   FaultPlan& join(std::size_t session_index, sim::Time at);
+  /// Session defects at `at`. `compliance` is only meaningful (and only
+  /// recorded) for MisbehaveMode::kPartial; it must lie in [0, 1].
+  FaultPlan& misbehave(std::size_t session_index, sim::Time at,
+                       MisbehaveMode mode, double compliance = 0.0);
+  /// Session returns to TM 4.0 behaviour (re-entering at ICR).
+  FaultPlan& comply(std::size_t session_index, sim::Time at);
   FaultPlan& custom(sim::Time at, std::function<void()> action,
                     std::string label = "custom");
 
@@ -131,6 +153,8 @@ struct FaultPlan {
   ///   restart:<target>:<at_ms>
   ///   leave:<session>:<at_ms>
   ///   join:<session>:<at_ms>
+  ///   misbehave:<session>:<at_ms>:<greedy|forge|partial>[:<compliance>]
+  ///   comply:<session>:<at_ms>
   ///
   /// Example: "outage:trunk0:250:50;restart:trunk0:450;leave:1:500"
   ///

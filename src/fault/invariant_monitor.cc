@@ -4,6 +4,9 @@
 #include <sstream>
 #include <utility>
 
+#include "atm/cell.h"
+#include "stats/fairness.h"
+
 namespace phantom::fault {
 
 InvariantMonitor::InvariantMonitor(sim::Simulator& sim, topo::AbrNetwork& net,
@@ -26,7 +29,23 @@ void InvariantMonitor::check_now() {
   check_conservation();
   check_queue_bounds();
   check_rate_bounds();
+  check_fair_share();
   last_check_ = sim_->now();
+}
+
+void InvariantMonitor::enable_fair_share_check(FairShareOptions options) {
+  fs_options_ = std::move(options);
+  if (fs_options_.sessions.empty()) {
+    for (std::size_t s = 0; s < net_->num_sessions(); ++s) {
+      fs_options_.sessions.push_back(s);
+    }
+  }
+  fs_prev_delivered_.clear();
+  for (const std::size_t s : fs_options_.sessions) {
+    fs_prev_delivered_.push_back(net_->delivered_cells(s));
+  }
+  fs_last_sample_ = sim_->now();
+  fs_enabled_ = true;
 }
 
 void InvariantMonitor::add(const char* invariant, std::string detail) {
@@ -80,12 +99,18 @@ void InvariantMonitor::check_conservation() {
     lost += st->lost();
     in_flight += st->in_flight();
   }
-  const std::uint64_t accounted = absorbed + queued + dropped + lost + in_flight;
+  // Cells discarded by drop-mode policing never reach a port queue, so
+  // they are neither "dropped" (port counter) nor "lost" (link
+  // counter): they get their own ledger term.
+  const std::uint64_t policed = net_->policer_dropped_cells();
+  const std::uint64_t accounted =
+      absorbed + queued + dropped + lost + in_flight + policed;
   if (created != accounted) {
     std::ostringstream out;
     out << "created " << created << " != accounted " << accounted
         << " (absorbed " << absorbed << " + queued " << queued << " + dropped "
-        << dropped << " + lost " << lost << " + in-flight " << in_flight << ")";
+        << dropped << " + lost " << lost << " + in-flight " << in_flight
+        << " + policed " << policed << ")";
     add("cell-conservation", out.str());
   }
 }
@@ -127,6 +152,60 @@ void InvariantMonitor::check_rate_bounds() {
                              std::to_string(acr) + " b/s outside [0, PCR=" +
                              std::to_string(pcr) + "]");
     }
+  }
+}
+
+void InvariantMonitor::check_fair_share() {
+  if (!fs_enabled_) return;
+  const sim::Time now = sim_->now();
+  const sim::Time elapsed = now - fs_last_sample_;
+  if (elapsed < fs_options_.window) return;
+
+  std::vector<sim::Rate> ideal;
+  try {
+    ideal = net_->reference_rates(fs_options_.phantom_per_link,
+                                  fs_options_.utilization);
+  } catch (const std::exception&) {
+    // The reference allocation can be undefined mid-fault (e.g. CBR
+    // load saturating a link leaves zero controlled capacity). Nothing
+    // to compare against — resync the sample baseline and move on.
+    for (std::size_t i = 0; i < fs_options_.sessions.size(); ++i) {
+      fs_prev_delivered_[i] = net_->delivered_cells(fs_options_.sessions[i]);
+    }
+    fs_last_sample_ = now;
+    return;
+  }
+
+  std::vector<double> measured;
+  std::vector<double> reference;
+  for (std::size_t i = 0; i < fs_options_.sessions.size(); ++i) {
+    const std::size_t s = fs_options_.sessions[i];
+    const std::uint64_t delivered = net_->delivered_cells(s);
+    const std::uint64_t delta = delivered - fs_prev_delivered_[i];
+    fs_prev_delivered_[i] = delivered;
+    // A session that is (or went) inactive this window is entitled to
+    // nothing; comparing its partial-window goodput to a full share
+    // would be a false alarm. Same for a zero reference rate.
+    const atm::AbrSource& src = net_->source(s);
+    if (!src.active() || ideal[s].bits_per_sec() <= 0.0) continue;
+    // delivered_cells counts data cells only; every Nrm-th cell of the
+    // allocation is an FRM, so scale goodput back up to wire rate.
+    const double rm_overhead = static_cast<double>(src.params().nrm) /
+                               static_cast<double>(src.params().nrm - 1);
+    measured.push_back(static_cast<double>(delta) * atm::kCellBits *
+                       rm_overhead / elapsed.seconds());
+    reference.push_back(ideal[s].bits_per_sec());
+  }
+  fs_last_sample_ = now;
+  if (measured.empty()) return;
+
+  const double retention = stats::fair_share_retention(measured, reference);
+  if (retention < fs_options_.bound) {
+    std::ostringstream out;
+    out << "compliant sessions retained " << retention
+        << " of fair share over " << elapsed.to_string() << " (bound "
+        << fs_options_.bound << ", " << measured.size() << " sessions)";
+    add("fair-share-retention", out.str());
   }
 }
 

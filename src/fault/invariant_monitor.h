@@ -49,6 +49,33 @@ class InvariantMonitor {
   InvariantMonitor(const InvariantMonitor&) = delete;
   InvariantMonitor& operator=(const InvariantMonitor&) = delete;
 
+  /// Configuration for the opt-in fair-share-retention check (the
+  /// enforcement guarantee: with policing on, compliant sessions keep
+  /// their fair share even in the presence of misbehaving sources).
+  struct FairShareOptions {
+    /// Minimum acceptable retention (mean over watched sessions of
+    /// min(goodput / ideal, 1)) per measurement window.
+    double bound = 0.85;
+    /// Goodput measurement window. Must comfortably exceed the
+    /// controllers' measurement interval so the estimate is settled.
+    sim::Time window = sim::Time::ms(50);
+    /// Target utilization for the reference allocation (paper: 0.95).
+    double utilization = 0.95;
+    /// Use the Phantom equilibrium (one phantom session per link) as
+    /// the reference rather than plain max-min.
+    bool phantom_per_link = true;
+    /// Which sessions' retention to watch — the *compliant* ones (the
+    /// misbehaving sessions are entitled to nothing beyond their
+    /// share, and policing deliberately beats them down). Empty =
+    /// watch every session.
+    std::vector<std::size_t> sessions;
+  };
+
+  /// Turns on the fair-share-retention check. Goodput is sampled from
+  /// the call time, so enable this after the network has warmed up —
+  /// the first window otherwise includes the convergence transient.
+  void enable_fair_share_check(FairShareOptions options);
+
   /// Runs every check immediately (also happens on the periodic tick).
   void check_now();
 
@@ -63,6 +90,7 @@ class InvariantMonitor {
   void check_queue_bounds();
   void check_rate_bounds();
   void check_time_monotonic();
+  void check_fair_share();
   void add(const char* invariant, std::string detail);
 
   sim::Simulator* sim_;
@@ -71,6 +99,11 @@ class InvariantMonitor {
   sim::Time last_check_ = sim::Time::zero();
   std::uint64_t checks_ = 0;
   std::vector<InvariantViolation> violations_;
+
+  bool fs_enabled_ = false;
+  FairShareOptions fs_options_;
+  sim::Time fs_last_sample_ = sim::Time::zero();
+  std::vector<std::uint64_t> fs_prev_delivered_;  // parallel to sessions
 };
 
 }  // namespace phantom::fault

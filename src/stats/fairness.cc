@@ -32,6 +32,17 @@ double maxmin_closeness(std::span<const double> measured,
   return acc / static_cast<double>(measured.size());
 }
 
+double fair_share_retention(std::span<const double> measured,
+                            std::span<const double> ideal) {
+  assert(measured.size() == ideal.size());
+  if (measured.empty()) return 1.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    acc += ideal[i] <= 0.0 ? 1.0 : std::min(measured[i] / ideal[i], 1.0);
+  }
+  return acc / static_cast<double>(measured.size());
+}
+
 std::size_t MaxMinSolver::add_link(sim::Rate capacity) {
   if (capacity.bits_per_sec() <= 0.0) {
     throw std::invalid_argument{"link capacity must be positive"};

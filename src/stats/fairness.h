@@ -30,6 +30,15 @@ namespace phantom::stats {
 [[nodiscard]] double maxmin_closeness(std::span<const double> measured,
                                       std::span<const double> ideal);
 
+/// Fair-share retention: mean over sessions of min(measured/ideal, 1).
+/// The misbehavior experiments' headline metric — what fraction of its
+/// entitled rate a (compliant) session actually kept. Unlike
+/// maxmin_closeness, overshooting the ideal is not penalized: a session
+/// briefly above its share has retained it. Sessions with a zero ideal
+/// count as fully retained. Empty input yields 1.0.
+[[nodiscard]] double fair_share_retention(std::span<const double> measured,
+                                          std::span<const double> ideal);
+
 /// Exact max-min allocation over an arbitrary capacitated topology.
 class MaxMinSolver {
  public:

@@ -1,0 +1,51 @@
+// A non-compliant TCP sender: the IP-side analogue of the greedy ABR
+// source. It keeps the Reno *machinery* (so losses are still repaired
+// and the flow keeps pushing) but refuses every congestion signal the
+// Phantom-over-IP mechanisms rely on: echoed EFCI never suppresses
+// growth, fast retransmit never shrinks the window, and Source Quench
+// is ignored via RenoConfig::react_to_quench (forced off here). Only
+// an RTO — where the network physically stopped delivering — resets it,
+// and that path lives in the shared chassis. Against such a flow the
+// only leverage the network has is what it enforces in the data path
+// (selective discard), which is exactly what the misbehavior
+// experiments measure.
+#pragma once
+
+#include "tcp/tcp_sender.h"
+
+namespace phantom::tcp {
+
+/// Greedy sender that ignores marks and loss signals as input.
+class AggressiveSource final : public TcpSender {
+ public:
+  AggressiveSource(sim::Simulator& sim, int flow, RenoConfig config,
+                   Emitter emit)
+      : TcpSender{sim, flow, deafened(config), std::move(emit)} {}
+
+  [[nodiscard]] std::string name() const override { return "aggressive"; }
+
+ private:
+  [[nodiscard]] static RenoConfig deafened(RenoConfig config) {
+    config.react_to_quench = false;
+    return config;
+  }
+
+  void on_ack_growth(bool /*efci_suppressed*/) override {
+    // Grows like Reno but never honours the EFCI suppression rule.
+    if (cwnd_bytes() < static_cast<double>(ssthresh_bytes())) {
+      set_cwnd(cwnd_bytes() + mss());
+    } else {
+      set_cwnd(cwnd_bytes() + mss() * mss() / cwnd_bytes());
+    }
+  }
+
+  bool on_fast_retransmit() override {
+    // Retransmit the segment (chassis does that) but keep cwnd and
+    // ssthresh untouched: loss is treated as noise, not as feedback.
+    return true;  // "fast recovery" at full window
+  }
+
+  void on_recovery_exit() override {}  // nothing was deflated
+};
+
+}  // namespace phantom::tcp

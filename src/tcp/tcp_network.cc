@@ -115,6 +115,10 @@ TcpNetwork::FlowId TcpNetwork::add_flow(RouterId ingress,
       source = std::make_unique<TahoeSource>(*sim_, flow, config,
                                              std::move(emitter));
       break;
+    case SenderKind::kAggressive:
+      source = std::make_unique<AggressiveSource>(*sim_, flow, config,
+                                                  std::move(emitter));
+      break;
     case SenderKind::kVegas: {
       VegasConfig vcfg = options.vegas;
       vcfg.base = config;

@@ -11,6 +11,7 @@
 #include "sim/simulator.h"
 #include "tcp/packet_port.h"
 #include "tcp/queue_policy.h"
+#include "tcp/aggressive.h"
 #include "tcp/reno.h"
 #include "tcp/vegas.h"
 #include "tcp/router.h"
@@ -46,7 +47,9 @@ class SinkHost final : public PacketSink {
 };
 
 /// Which congestion-control flavour a flow's sender runs.
-enum class SenderKind { kReno, kTahoe, kVegas };
+/// kAggressive is the misbehaving sender (tcp/aggressive.h): ignores
+/// EFCI, Source Quench, and loss-as-signal.
+enum class SenderKind { kReno, kTahoe, kVegas, kAggressive };
 
 /// Per-flow construction options (see add_flow).
 struct FlowOptions {

@@ -119,6 +119,7 @@ std::int64_t TcpSender::half_flight() const {
 
 void TcpSender::on_source_quench() {
   ++quenches_;
+  if (!config_.react_to_quench) return;  // misbehaving sender: ignore
   // React at most once per RTT: routers may emit several quenches
   // before the first one takes effect.
   const sim::Time guard = rtt_seeded_ ? srtt_ : config_.rto_initial;

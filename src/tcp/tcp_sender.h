@@ -31,6 +31,11 @@ struct RenoConfig {
   /// Honour echoed EFCI bits (required by the EFCI mechanism; harmless
   /// otherwise since plain routers never set the bit).
   bool react_to_efci = true;
+  /// Honour Source Quench (collapse cwnd to one segment). A
+  /// misbehaving sender turns this off: quenches are still counted,
+  /// but the window never reacts — the enforcement experiments measure
+  /// what the network can do about such a flow on its own.
+  bool react_to_quench = true;
 
   void validate() const {
     if (mss <= 0) throw std::invalid_argument{"mss must be positive"};

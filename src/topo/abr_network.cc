@@ -204,6 +204,41 @@ std::uint64_t AbrNetwork::delivered_cells(SessionId s) const {
   return dests_[sess.dest].endpoint->data_cells_received(sess.vc);
 }
 
+void AbrNetwork::set_session_behavior(SessionId s,
+                                      atm::SourceBehavior behavior,
+                                      double compliance) {
+  sources_.at(s)->set_behavior(behavior, compliance);
+}
+
+void AbrNetwork::enable_policing(atm::PolicerConfig config) {
+  for (const auto& sw : switches_) {
+    sw->enable_policing(config);
+    if (config.action == atm::PolicingAction::kTag) {
+      // Tagging is only meaningful with partial buffer sharing: tagged
+      // cells ride along until a queue passes half its limit, then they
+      // are discarded first.
+      for (std::size_t p = 0; p < sw->num_ports(); ++p) {
+        atm::OutputPort& port = sw->port(p);
+        port.set_clp_threshold(std::max<std::size_t>(1, port.queue_limit() / 2));
+      }
+    }
+  }
+}
+
+std::uint64_t AbrNetwork::policer_dropped_cells() const {
+  std::uint64_t dropped = 0;
+  for (const auto& sw : switches_) {
+    if (const atm::Policer* p = sw->policer()) dropped += p->cells_dropped();
+  }
+  return dropped;
+}
+
+std::uint64_t AbrNetwork::rm_cells_sanitized() const {
+  std::uint64_t sanitized = 0;
+  for (const auto& sw : switches_) sanitized += sw->rm_cells_sanitized();
+  return sanitized;
+}
+
 std::vector<sim::Rate> AbrNetwork::reference_rates(bool phantom_per_link,
                                                    double utilization) const {
   stats::MaxMinSolver solver;

@@ -135,6 +135,27 @@ class AbrNetwork {
   /// Data cells received so far for session `s` at its destination.
   [[nodiscard]] std::uint64_t delivered_cells(SessionId s) const;
 
+  /// The VC identifier session `s` transmits on (policer stats are
+  /// keyed by VC).
+  [[nodiscard]] int session_vc(SessionId s) const {
+    return sessions_.at(s).vc;
+  }
+
+  /// Switches session `s` to the given feedback behaviour (see
+  /// atm::SourceBehavior) — the `misbehave`/`comply` faults.
+  void set_session_behavior(SessionId s, atm::SourceBehavior behavior,
+                            double compliance = 1.0);
+
+  /// Attaches a UPC policer (shared config) at every switch's ingress.
+  void enable_policing(atm::PolicerConfig config);
+  /// Cells discarded at switch ingress by drop-mode policing, summed
+  /// over all switches. These never reached a port queue, so they form
+  /// their own term in the cell-conservation ledger.
+  [[nodiscard]] std::uint64_t policer_dropped_cells() const;
+  /// RM cells whose fields were sanitized on switch ingest, summed over
+  /// all switches.
+  [[nodiscard]] std::uint64_t rm_cells_sanitized() const;
+
   /// Ideal allocation for the current topology: max-min over the
   /// *controlled* links, optionally with one phantom session per link
   /// (the paper's predicted Phantom equilibrium), at utilization u.

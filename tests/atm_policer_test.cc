@@ -1,0 +1,180 @@
+// GCRA policer unit tests: conformance arithmetic, the action modes,
+// the exemptions, and the moving fair-share reference.
+#include <gtest/gtest.h>
+
+#include "atm/policer.h"
+
+namespace phantom {
+namespace {
+
+using atm::Cell;
+using atm::Policer;
+using atm::PolicerConfig;
+using atm::PolicingAction;
+using sim::Rate;
+using sim::Time;
+
+/// Config with no headroom and no floor: the contract is exactly
+/// `fair_share`, which makes the GCRA arithmetic easy to reason about.
+PolicerConfig tight(PolicingAction action = PolicingAction::kDrop,
+                    Time tolerance = Time::zero()) {
+  PolicerConfig c;
+  c.action = action;
+  c.headroom = 1.0;
+  c.floor = Rate::zero();
+  c.tolerance = tolerance;
+  return c;
+}
+
+constexpr int kCellBits = 424;
+
+TEST(PolicerTest, CellsAtTheContractRateAllConform) {
+  Policer p{tight()};
+  const Rate share = Rate::mbps(10);
+  const Time interval = share.transmission_time(kCellBits);
+  Time now = Time::zero();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(p.check(Cell::data(1), share, now), Policer::Verdict::kPass);
+    now = now + interval;
+  }
+  EXPECT_EQ(p.cells_conforming(), 100u);
+  EXPECT_EQ(p.cells_nonconforming(), 0u);
+  EXPECT_DOUBLE_EQ(p.violation_rate(), 0.0);
+}
+
+TEST(PolicerTest, BackToBackCellsBeyondToleranceViolate) {
+  Policer p{tight()};
+  const Rate share = Rate::mbps(10);
+  // All at t = 0: the first cell conforms (TAT starts at now), every
+  // later one arrives a full emission interval early.
+  EXPECT_EQ(p.check(Cell::data(1), share, Time::zero()),
+            Policer::Verdict::kPass);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(p.check(Cell::data(1), share, Time::zero()),
+              Policer::Verdict::kDrop);
+  }
+  EXPECT_EQ(p.cells_nonconforming(), 9u);
+  EXPECT_DOUBLE_EQ(p.violation_rate(), 0.9);
+  EXPECT_DOUBLE_EQ(p.violation_rate(1), 0.9);
+  EXPECT_EQ(p.vc_stats(1).dropped, 9u);
+}
+
+TEST(PolicerTest, ToleranceAbsorbsABoundedBurst) {
+  // τ of 3 emission intervals lets a cell arrive up to 3 intervals
+  // early: a 4-cell back-to-back burst passes, the 5th is caught.
+  const Rate share = Rate::mbps(10);
+  const Time interval = share.transmission_time(kCellBits);
+  Policer p{tight(PolicingAction::kDrop, interval * 3.0)};
+  int conforming = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (p.check(Cell::data(1), share, Time::zero()) ==
+        Policer::Verdict::kPass) {
+      ++conforming;
+    }
+  }
+  EXPECT_EQ(conforming, 4);
+}
+
+TEST(PolicerTest, NonconformingCellsDoNotAdvanceTheContract) {
+  // A violating burst must not push TAT forward — otherwise dropped
+  // cells would earn the VC future credit. After the burst, a cell at
+  // the next legitimate slot still conforms.
+  Policer p{tight()};
+  const Rate share = Rate::mbps(10);
+  const Time interval = share.transmission_time(kCellBits);
+  EXPECT_EQ(p.check(Cell::data(1), share, Time::zero()),
+            Policer::Verdict::kPass);
+  for (int i = 0; i < 50; ++i) {
+    p.check(Cell::data(1), share, Time::zero());
+  }
+  EXPECT_EQ(p.check(Cell::data(1), share, interval),
+            Policer::Verdict::kPass);
+}
+
+TEST(PolicerTest, ActionSelectsTheVerdict) {
+  const Rate share = Rate::mbps(10);
+  Policer monitor{tight(PolicingAction::kMonitor)};
+  Policer tag{tight(PolicingAction::kTag)};
+  monitor.check(Cell::data(1), share, Time::zero());
+  tag.check(Cell::data(1), share, Time::zero());
+  // Second back-to-back cell violates in both; the verdict differs.
+  EXPECT_EQ(monitor.check(Cell::data(1), share, Time::zero()),
+            Policer::Verdict::kPass);
+  EXPECT_EQ(tag.check(Cell::data(1), share, Time::zero()),
+            Policer::Verdict::kTag);
+  EXPECT_EQ(monitor.cells_nonconforming(), 1u);
+  EXPECT_EQ(monitor.cells_dropped(), 0u);
+  EXPECT_EQ(tag.cells_tagged(), 1u);
+  EXPECT_EQ(tag.cells_dropped(), 0u);
+}
+
+TEST(PolicerTest, ExemptCellsAreNeverPoliced) {
+  Policer p{tight()};
+  const Rate share = Rate::mbps(10);
+  Cell cbr = Cell::data(1);
+  cbr.high_priority = true;
+  Cell brm = Cell::data(1);
+  brm.kind = atm::CellKind::kBackwardRm;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(p.check(cbr, share, Time::zero()), Policer::Verdict::kPass);
+    EXPECT_EQ(p.check(brm, share, Time::zero()), Policer::Verdict::kPass);
+    // No estimate yet (NullController port): nothing to police against.
+    EXPECT_EQ(p.check(Cell::data(1), Rate::zero(), Time::zero()),
+              Policer::Verdict::kPass);
+  }
+  EXPECT_EQ(p.cells_checked(), 0u);
+}
+
+TEST(PolicerTest, FloorProtectsRampingSources) {
+  PolicerConfig c = tight();
+  c.floor = Rate::mbps(10);
+  Policer p{c};
+  // Fair share far below the floor: the contract is the floor, so a
+  // source pacing at 10 Mb/s stays conformant.
+  const Time interval = Rate::mbps(10).transmission_time(kCellBits);
+  Time now = Time::zero();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(p.check(Cell::data(1), Rate::mbps(1), now),
+              Policer::Verdict::kPass);
+    now = now + interval;
+  }
+}
+
+TEST(PolicerTest, ContractTracksTheMovingFairShare) {
+  // Pacing at 10 Mb/s conforms while the share is 10, then becomes a
+  // violation after the share (re-read per cell) halves.
+  Policer p{tight()};
+  const Time interval = Rate::mbps(10).transmission_time(kCellBits);
+  Time now = Time::zero();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(p.check(Cell::data(1), Rate::mbps(10), now),
+              Policer::Verdict::kPass);
+    now = now + interval;
+  }
+  std::uint64_t before = p.cells_nonconforming();
+  EXPECT_EQ(before, 0u);
+  for (int i = 0; i < 20; ++i) {
+    p.check(Cell::data(1), Rate::mbps(5), now);
+    now = now + interval;
+  }
+  // Every other cell (roughly) is now ahead of the halved contract.
+  EXPECT_GT(p.cells_nonconforming(), 5u);
+  EXPECT_LT(p.cells_nonconforming(), 15u);
+}
+
+TEST(PolicerTest, VcsArePolicedIndependently) {
+  Policer p{tight()};
+  const Rate share = Rate::mbps(10);
+  // VC 1 floods; VC 2 sends a single cell at the same instant.
+  p.check(Cell::data(1), share, Time::zero());
+  p.check(Cell::data(1), share, Time::zero());
+  p.check(Cell::data(1), share, Time::zero());
+  EXPECT_EQ(p.check(Cell::data(2), share, Time::zero()),
+            Policer::Verdict::kPass);
+  EXPECT_EQ(p.vc_stats(1).nonconforming, 2u);
+  EXPECT_EQ(p.vc_stats(2).nonconforming, 0u);
+  EXPECT_EQ(p.vc_stats(7).conforming, 0u);  // never seen
+}
+
+}  // namespace
+}  // namespace phantom

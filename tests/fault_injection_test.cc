@@ -385,6 +385,72 @@ TEST(FaultInjectorTest, DeferredValidationStillRejectsBadLinksEagerly) {
       std::out_of_range);
 }
 
+TEST(FaultPlanTest, ParsesMisbehaveAndComply) {
+  const auto plan = fault::FaultPlan::parse(
+      "misbehave:1:100:greedy;misbehave:2:150:partial:0.25;"
+      "misbehave:0:120:forge;comply:1:300");
+  ASSERT_EQ(plan.events.size(), 4u);
+  using K = fault::FaultEvent::Kind;
+  EXPECT_EQ(plan.events[0].kind, K::kMisbehave);
+  EXPECT_EQ(plan.events[0].target.kind, fault::FaultTarget::Kind::kSession);
+  EXPECT_EQ(plan.events[0].target.index, 1u);
+  EXPECT_EQ(plan.events[0].mode, fault::MisbehaveMode::kGreedy);
+  EXPECT_EQ(plan.events[0].at, Time::ms(100));
+  EXPECT_EQ(plan.events[1].mode, fault::MisbehaveMode::kPartial);
+  EXPECT_DOUBLE_EQ(plan.events[1].compliance, 0.25);
+  EXPECT_EQ(plan.events[2].mode, fault::MisbehaveMode::kForge);
+  EXPECT_EQ(plan.events[3].kind, K::kComply);
+  EXPECT_EQ(plan.events[3].target.index, 1u);
+  // And back out through the grammar, exactly.
+  EXPECT_EQ(fault::FaultPlan::parse(plan.to_spec()), plan);
+}
+
+TEST(FaultPlanTest, RejectsMalformedMisbehave) {
+  EXPECT_THROW(fault::FaultPlan::parse("misbehave:1:100:sneaky"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("misbehave:1:100"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("misbehave:1:100:partial:1.5"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("comply:1"), std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("comply:x:5"), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, MisbehaveSwitchesSourceBehaviorOnSchedule) {
+  Simulator sim;
+  Bottleneck b{sim, 3};
+  fault::FaultInjector injector{sim, b.net};
+  injector.apply(fault::FaultPlan{}
+                     .misbehave(1, Time::ms(50), fault::MisbehaveMode::kGreedy)
+                     .comply(1, Time::ms(150)));
+  b.net.start_all(Time::zero(), Time::zero());
+  EXPECT_EQ(b.net.source(1).behavior(), atm::SourceBehavior::kCompliant);
+  sim.run_until(Time::ms(100));
+  EXPECT_EQ(b.net.source(1).behavior(), atm::SourceBehavior::kGreedy);
+  EXPECT_EQ(b.net.source(0).behavior(), atm::SourceBehavior::kCompliant);
+  sim.run_until(Time::ms(200));
+  EXPECT_EQ(b.net.source(1).behavior(), atm::SourceBehavior::kCompliant);
+  ASSERT_EQ(injector.log().size(), 2u);
+  EXPECT_NE(injector.log()[0].description.find("misbehaves"),
+            std::string::npos);
+  EXPECT_NE(injector.log()[1].description.find("compliance"),
+            std::string::npos);
+}
+
+TEST(FaultInjectorTest, MisbehaveValidatesSessionIndexAtLoad) {
+  Simulator sim;
+  Bottleneck b{sim, 2};
+  fault::FaultInjector injector{sim, b.net};
+  const auto pending_before = sim.pending_count();
+  EXPECT_THROW(
+      injector.apply(fault::FaultPlan{}.misbehave(
+          5, Time::ms(1), fault::MisbehaveMode::kGreedy)),
+      std::out_of_range);
+  EXPECT_THROW(injector.apply(fault::FaultPlan{}.comply(5, Time::ms(1))),
+               std::out_of_range);
+  EXPECT_EQ(sim.pending_count(), pending_before);
+}
+
 TEST(FaultInjectorTest, EagerValidationNamesLoadTime) {
   Simulator sim;
   Bottleneck b{sim, 2};

@@ -1,0 +1,341 @@
+// Misbehaving-source resilience: the adversarial source models, RM
+// sanitization at switch ingress, policing end to end (the PR's
+// acceptance scenario), and the fair-share invariant check — plus its
+// edge cases (saturated reference, single session, mid-window churn).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "atm/policer.h"
+#include "exp/factories.h"
+#include "exp/probes.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "fault/invariant_monitor.h"
+#include "sim/simulator.h"
+#include "stats/fairness.h"
+#include "topo/abr_network.h"
+
+namespace phantom {
+namespace {
+
+using sim::Rate;
+using sim::Simulator;
+using sim::Time;
+using topo::AbrNetwork;
+
+constexpr double kLinkMbps = 150.0;
+constexpr double kUtilization = 0.95;  // exp::make_factory default
+
+/// Single-bottleneck Phantom network: n sessions, one 150 Mb/s link.
+struct Bottleneck {
+  explicit Bottleneck(Simulator& sim, int n,
+                      std::size_t queue_limit = topo::TrunkOptions{}.queue_limit)
+      : net{sim, exp::make_factory(exp::Algorithm::kPhantom)} {
+    const auto sw = net.add_switch("sw");
+    topo::TrunkOptions trunk;
+    trunk.queue_limit = queue_limit;
+    dest = net.add_destination(sw, trunk);
+    for (int i = 0; i < n; ++i) net.add_session(sw, {}, dest);
+  }
+  AbrNetwork net;
+  AbrNetwork::DestId dest = 0;
+};
+
+/// Runs to 600 ms and returns per-session goodput (Mb/s) measured over
+/// the settled back 40%.
+std::vector<double> measure(Simulator& sim, AbrNetwork& net) {
+  exp::GoodputProbe probe{sim, net};
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(360));
+  probe.mark();
+  sim.run_until(Time::ms(600));
+  return probe.rates_mbps();
+}
+
+/// Ideal per-session share with one phantom session: u * C / (n + 1).
+double ideal_share(int n) { return kUtilization * kLinkMbps / (n + 1); }
+
+// ---------------------------------------------------------------------
+// The PR's acceptance scenario: 3 compliant + 1 greedy on one link.
+// ---------------------------------------------------------------------
+
+TEST(MisbehaviorTest, GreedySourceStarvesCompliantTrafficWithoutPolicing) {
+  Simulator sim{1};
+  Bottleneck b{sim, 4};
+  b.net.set_session_behavior(3, atm::SourceBehavior::kGreedy);
+  const auto rates = measure(sim, b.net);
+
+  const double ideal = ideal_share(4);
+  const double compliant_mean = (rates[0] + rates[1] + rates[2]) / 3.0;
+  // The greedy source's queue drops count as offered load, the MACR
+  // collapses to its floor, and the compliant sessions follow it down.
+  EXPECT_LT(compliant_mean, 0.5 * ideal);
+  // The adversary pockets what everyone else lost.
+  EXPECT_GT(rates[3], 0.8 * kLinkMbps);
+}
+
+TEST(MisbehaviorTest, DropPolicingRestoresCompliantFairShare) {
+  Simulator sim{1};
+  Bottleneck b{sim, 4};
+  b.net.set_session_behavior(3, atm::SourceBehavior::kGreedy);
+  atm::PolicerConfig pc;
+  pc.action = atm::PolicingAction::kDrop;
+  b.net.enable_policing(pc);
+  const auto rates = measure(sim, b.net);
+
+  const double ideal = ideal_share(4);
+  const double compliant_mean = (rates[0] + rates[1] + rates[2]) / 3.0;
+  EXPECT_GE(compliant_mean, 0.85 * ideal);
+  // The adversary is held near its policed contract (headroom * share),
+  // nowhere near the line rate it asks for.
+  EXPECT_LT(rates[3], 2.0 * ideal);
+  EXPECT_GT(b.net.policer_dropped_cells(), 0u);
+}
+
+TEST(MisbehaviorTest, MonitorModeDetectsWithoutEnforcing) {
+  Simulator sim{1};
+  Bottleneck b{sim, 4};
+  b.net.set_session_behavior(3, atm::SourceBehavior::kGreedy);
+  b.net.enable_policing({});  // default action: monitor
+  const auto rates = measure(sim, b.net);
+
+  // Detection: the adversary's VC stands out; compliant VCs stay clean
+  // (the headroom exists precisely so honest transients don't trip it).
+  const atm::Policer* p = b.net.node(0).policer();
+  ASSERT_NE(p, nullptr);
+  EXPECT_GT(p->violation_rate(b.net.session_vc(3)), 0.5);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_LT(p->violation_rate(b.net.session_vc(s)), 0.05) << "session " << s;
+  }
+  // No enforcement: the starvation is unchanged.
+  EXPECT_EQ(p->cells_dropped(), 0u);
+  EXPECT_EQ(b.net.policer_dropped_cells(), 0u);
+  EXPECT_LT((rates[0] + rates[1] + rates[2]) / 3.0, 0.5 * ideal_share(4));
+}
+
+TEST(MisbehaviorTest, TagModeDiscardsTaggedCellsAtHalfQueue) {
+  Simulator sim{1};
+  // Small queue so the CLP threshold is actually reached: the greedy
+  // source's PCR matches the link rate, so the backlog grows only at
+  // the compliant sessions' (collapsing) rate — a few thousand cells
+  // over the whole run.
+  Bottleneck b{sim, 4, /*queue_limit=*/2000};
+  b.net.set_session_behavior(3, atm::SourceBehavior::kGreedy);
+  atm::PolicerConfig pc;
+  pc.action = atm::PolicingAction::kTag;
+  b.net.enable_policing(pc);
+  atm::OutputPort& port = b.net.dest_port(b.dest);
+  ASSERT_EQ(port.clp_threshold(), std::max<std::size_t>(1, port.queue_limit() / 2));
+  b.net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(600));
+
+  // Partial buffer sharing: tagged cells are discarded once the queue
+  // passes the threshold, so the queue saturates there instead of at
+  // the full limit, and every drop so far is a CLP drop.
+  EXPECT_GT(port.clp_cells_dropped(), 0u);
+  EXPECT_EQ(port.clp_cells_dropped(), port.cells_dropped());
+  EXPECT_LE(port.max_queue_length(), port.clp_threshold() + 16);
+}
+
+// ---------------------------------------------------------------------
+// RM forging and ingress sanitization.
+// ---------------------------------------------------------------------
+
+TEST(MisbehaviorTest, ForgedRmFieldsAreClampedAtIngress) {
+  Simulator sim{1};
+  Bottleneck b{sim, 2};
+  const int vc = b.net.session_vc(0);
+  atm::Switch& sw = b.net.node(0);
+
+  auto forged = [vc](double er_bps, double ccr_bps) {
+    atm::Cell c = atm::Cell::forward_rm(vc, Rate::bps(ccr_bps),
+                                        Rate::bps(er_bps));
+    return c;
+  };
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  sw.receive_cell(forged(nan, 1e6));     // NaN ER
+  sw.receive_cell(forged(-5e6, 1e6));    // negative ER
+  sw.receive_cell(forged(inf, 1e6));     // ER above any link capacity
+  sw.receive_cell(forged(1e9, 1e6));     // ER above this link's rate
+  sw.receive_cell(forged(1e6, nan));     // NaN CCR
+  sw.receive_cell(forged(1e6, -1e6));    // negative CCR
+  EXPECT_EQ(sw.rm_cells_sanitized(), 6u);
+  sw.receive_cell(forged(1e6, 1e6));     // honest cell: untouched
+  EXPECT_EQ(sw.rm_cells_sanitized(), 6u);
+
+  // The clamps kept the poison out of the controller: its estimate is
+  // still finite and within the physical link rate.
+  const double share = b.net.dest_port(b.dest).controller().fair_share()
+                           .bits_per_sec();
+  EXPECT_TRUE(std::isfinite(share));
+  EXPECT_LE(share, kLinkMbps * 1e6);
+}
+
+TEST(MisbehaviorTest, ForgingSourceCannotInflateItsShareUnderPolicing) {
+  Simulator sim{1};
+  Bottleneck b{sim, 4};
+  b.net.set_session_behavior(3, atm::SourceBehavior::kForging);
+  atm::PolicerConfig pc;
+  pc.action = atm::PolicingAction::kDrop;
+  b.net.enable_policing(pc);
+  const auto rates = measure(sim, b.net);
+
+  // The forged BRMs (ER = 10 * PCR) were clamped on ingress...
+  EXPECT_GT(b.net.source(3).forged_brm_sent(), 0u);
+  EXPECT_GT(b.net.rm_cells_sanitized(), 0u);
+  // ...and the data-path enforcement holds regardless of what the
+  // forged feedback claims.
+  const double ideal = ideal_share(4);
+  EXPECT_GE((rates[0] + rates[1] + rates[2]) / 3.0, 0.85 * ideal);
+  EXPECT_LT(rates[3], 2.0 * ideal);
+}
+
+TEST(MisbehaviorTest, PartialComplianceSitsBetweenHonestAndGreedy) {
+  const auto compliant_mean = [](double compliance) {
+    Simulator sim{1};
+    Bottleneck b{sim, 4};
+    if (compliance < 1.0) {
+      b.net.set_session_behavior(3, atm::SourceBehavior::kPartial, compliance);
+    }
+    const auto rates = measure(sim, b.net);
+    return (rates[0] + rates[1] + rates[2]) / 3.0;
+  };
+  const double honest = compliant_mean(1.0);
+  const double half = compliant_mean(0.5);
+  const double barely = compliant_mean(0.1);
+  EXPECT_GT(honest, half);
+  EXPECT_GT(half, barely);
+}
+
+// ---------------------------------------------------------------------
+// Invariants under adversarial load.
+// ---------------------------------------------------------------------
+
+TEST(MisbehaviorTest, ConservationHoldsWithAdversariesAndPolicing) {
+  // Policer drops are a new way for cells to vanish; the conservation
+  // check must account for them. Forged BRMs are a new way for cells to
+  // appear; they are counted at their creator.
+  for (const auto behavior :
+       {atm::SourceBehavior::kGreedy, atm::SourceBehavior::kForging}) {
+    Simulator sim{1};
+    Bottleneck b{sim, 4};
+    b.net.set_session_behavior(3, behavior);
+    atm::PolicerConfig pc;
+    pc.action = atm::PolicingAction::kDrop;
+    b.net.enable_policing(pc);
+    fault::InvariantMonitor monitor{sim, b.net};
+    b.net.start_all(Time::zero(), Time::zero());
+    sim.run_until(Time::ms(400));
+    monitor.check_now();
+    EXPECT_TRUE(monitor.violations().empty())
+        << to_string(behavior) << ": "
+        << monitor.violations().front().invariant << ": "
+        << monitor.violations().front().detail;
+    EXPECT_GT(b.net.policer_dropped_cells(), 0u);
+  }
+}
+
+TEST(FairShareInvariantTest, CleanWithDropPolicingOn) {
+  Simulator sim{1};
+  Bottleneck b{sim, 4};
+  b.net.set_session_behavior(3, atm::SourceBehavior::kGreedy);
+  atm::PolicerConfig pc;
+  pc.action = atm::PolicingAction::kDrop;
+  b.net.enable_policing(pc);
+  fault::InvariantMonitor monitor{sim, b.net};
+  b.net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(200));  // warm up past the convergence transient
+  fault::InvariantMonitor::FairShareOptions fs;
+  fs.sessions = {0, 1, 2};  // watch the compliant sessions only
+  fs.bound = 0.80;          // leave margin below the steady-state ~0.88
+  monitor.enable_fair_share_check(fs);
+  sim.run_until(Time::ms(600));
+  monitor.check_now();
+  for (const auto& v : monitor.violations()) {
+    EXPECT_NE(v.invariant, "fair-share-retention") << v.detail;
+  }
+  EXPECT_TRUE(monitor.violations().empty());
+}
+
+TEST(FairShareInvariantTest, FlagsStarvationWithPolicingOff) {
+  Simulator sim{1};
+  Bottleneck b{sim, 4};
+  b.net.set_session_behavior(3, atm::SourceBehavior::kGreedy);
+  fault::InvariantMonitor monitor{sim, b.net};
+  b.net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(200));
+  fault::InvariantMonitor::FairShareOptions fs;
+  fs.sessions = {0, 1, 2};
+  monitor.enable_fair_share_check(fs);
+  sim.run_until(Time::ms(600));
+  monitor.check_now();
+  bool flagged = false;
+  for (const auto& v : monitor.violations()) {
+    flagged |= v.invariant == "fair-share-retention";
+  }
+  EXPECT_TRUE(flagged);
+}
+
+// ---------------------------------------------------------------------
+// Fair-share check edge cases.
+// ---------------------------------------------------------------------
+
+TEST(FairShareInvariantTest, SurvivesSaturatedReferenceAllocation) {
+  // CBR load eating the whole link leaves zero controlled capacity: the
+  // reference allocation is undefined. The check must skip the window,
+  // not crash or emit a bogus violation.
+  Simulator sim{1};
+  Bottleneck b{sim, 2};
+  b.net.add_cbr_session(0, {}, b.dest, Rate::mbps(kLinkMbps));
+  fault::InvariantMonitor monitor{sim, b.net};
+  b.net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(100));
+  monitor.enable_fair_share_check({});
+  sim.run_until(Time::ms(400));
+  monitor.check_now();
+  for (const auto& v : monitor.violations()) {
+    EXPECT_NE(v.invariant, "fair-share-retention") << v.detail;
+  }
+}
+
+TEST(FairShareInvariantTest, SingleSessionPortRunsClean) {
+  // n = 1: the session converges to u * C / 2 (one phantom), and the
+  // check against that reference passes.
+  Simulator sim{1};
+  Bottleneck b{sim, 1};
+  fault::InvariantMonitor monitor{sim, b.net};
+  b.net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(200));
+  monitor.enable_fair_share_check({});
+  sim.run_until(Time::ms(600));
+  monitor.check_now();
+  EXPECT_TRUE(monitor.violations().empty());
+}
+
+TEST(FairShareInvariantTest, WatchedSessionLeavingMidWindowIsNotFlagged) {
+  // The watched session churns out mid-window: it delivered half a
+  // window of cells and is entitled to nothing afterwards. The check
+  // must treat the inactive session as satisfied, not starved.
+  Simulator sim{1};
+  Bottleneck b{sim, 2};
+  fault::FaultInjector injector{sim, b.net};
+  injector.apply(fault::FaultPlan{}.leave(1, Time::ms(325)));
+  fault::InvariantMonitor monitor{sim, b.net};
+  b.net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(300));
+  fault::InvariantMonitor::FairShareOptions fs;
+  fs.sessions = {1};  // the session that is about to leave
+  monitor.enable_fair_share_check(fs);
+  sim.run_until(Time::ms(600));
+  monitor.check_now();
+  for (const auto& v : monitor.violations()) {
+    EXPECT_NE(v.invariant, "fair-share-retention") << v.detail;
+  }
+}
+
+}  // namespace
+}  // namespace phantom

@@ -1,0 +1,133 @@
+// The non-compliant TCP sender: unit behaviour of the ignored signals,
+// and what the network-side mechanisms can (and cannot) do about a
+// flow that refuses to back off.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "stats/fairness.h"
+#include "tcp/aggressive.h"
+#include "tcp/phantom_policies.h"
+#include "tcp/tcp_network.h"
+
+namespace phantom::tcp {
+namespace {
+
+using sim::Rate;
+using sim::Simulator;
+using sim::Time;
+
+/// An AggressiveSource on a bench, fed handcrafted packets.
+struct Bench {
+  Simulator sim;
+  std::vector<Packet> sent;
+  AggressiveSource src{sim, 0, RenoConfig{},
+                       [this](Packet p) { sent.push_back(p); }};
+
+  void start() {
+    src.start(Time::zero());
+    sim.run_until(Time::us(1));
+  }
+  void ack(std::int64_t bytes, bool efci = false) {
+    Packet a = Packet::make_ack(0, bytes);
+    a.ack_efci = efci;
+    a.timestamp = sim.now() - Time::ms(1);
+    src.receive_packet(a);
+  }
+};
+
+TEST(AggressiveSourceTest, IgnoresSourceQuench) {
+  Bench b;
+  b.start();
+  b.ack(512);  // grow a little first
+  const double before = b.src.cwnd_bytes();
+  b.src.receive_packet(Packet::source_quench(0));
+  EXPECT_EQ(b.src.quenches_received(), 1u);  // counted...
+  EXPECT_DOUBLE_EQ(b.src.cwnd_bytes(), before);  // ...but not obeyed
+}
+
+TEST(AggressiveSourceTest, IgnoresEchoedEfci) {
+  Bench b;
+  b.start();
+  const double before = b.src.cwnd_bytes();
+  b.ack(512, /*efci=*/true);
+  // A compliant Reno sender would suppress growth on an EFCI-marked
+  // ACK; the aggressive one grows anyway.
+  EXPECT_GT(b.src.cwnd_bytes(), before);
+}
+
+TEST(AggressiveSourceTest, FastRetransmitKeepsTheWindow) {
+  Bench b;
+  b.start();
+  for (int i = 1; i <= 8; ++i) b.ack(512 * i);
+  const double before = b.src.cwnd_bytes();
+  const auto sent_before = b.sent.size();
+  for (int i = 0; i < 3; ++i) b.ack(512 * 8);  // three dup ACKs
+  EXPECT_GT(b.sent.size(), sent_before);         // it did retransmit
+  EXPECT_EQ(b.src.fast_retransmits(), 1u);
+  EXPECT_GE(b.src.cwnd_bytes(), before);         // but never deflated
+  // Recovery exit changes nothing either.
+  b.ack(512 * 9);
+  EXPECT_GE(b.src.cwnd_bytes(), before);
+}
+
+/// Shared bottleneck: 3 Reno flows + 1 aggressive flow, 10 Mb/s link.
+std::vector<double> run_mixed(PolicyFactory policy) {
+  Simulator sim;
+  TcpNetwork net{sim};
+  const auto r = net.add_router("r0");
+  TcpTrunkOptions opts;
+  opts.queue_limit = 60;
+  opts.policy = std::move(policy);
+  const auto s = net.add_sink_node(r, opts);
+  for (int i = 0; i < 3; ++i) {
+    net.add_flow(r, {}, s, RenoConfig{}, Rate::mbps(100), Time::ms(6));
+  }
+  FlowOptions aggressive;
+  aggressive.kind = SenderKind::kAggressive;
+  aggressive.access_delay = Time::ms(6);
+  net.add_flow(r, {}, s, aggressive);
+  net.start_all(Time::zero(), Time::ms(73));
+
+  const Time settle = Time::sec(3), horizon = Time::sec(12);
+  sim.run_until(settle);
+  std::vector<std::int64_t> base;
+  for (std::size_t f = 0; f < net.num_flows(); ++f) {
+    base.push_back(net.delivered_bytes(f));
+  }
+  sim.run_until(horizon);
+  std::vector<double> mbps;
+  for (std::size_t f = 0; f < net.num_flows(); ++f) {
+    mbps.push_back(static_cast<double>(net.delivered_bytes(f) - base[f]) *
+                   8.0 / (horizon - settle).seconds() / 1e6);
+  }
+  return mbps;
+}
+
+TEST(AggressiveSourceTest, GrabsMoreThanItsShareUnderDropTail) {
+  const auto mbps = run_mixed(nullptr);
+  const double reno_mean = (mbps[0] + mbps[1] + mbps[2]) / 3.0;
+  // Only RTOs slow it down, so it beats the compliant flows decisively.
+  EXPECT_GT(mbps[3], 1.5 * reno_mean);
+}
+
+TEST(AggressiveSourceTest, SelectiveDiscardContainsIt) {
+  const auto droptail = run_mixed(nullptr);
+  const auto discard = run_mixed([](Simulator& sim, Rate rate) {
+    return std::make_unique<SelectiveDiscardPolicy>(sim, rate, 10.0);
+  });
+  // Enforcement in the data path is the one lever that works against a
+  // sender that ignores every congestion signal: selective discard
+  // takes losses out of the aggressive flow specifically, so the
+  // compliant flows keep a larger piece than under drop-tail...
+  const double reno_droptail = (droptail[0] + droptail[1] + droptail[2]) / 3.0;
+  const double reno_discard = (discard[0] + discard[1] + discard[2]) / 3.0;
+  EXPECT_GT(reno_discard, reno_droptail);
+  // ...and the fairness of the whole mix improves.
+  EXPECT_GT(stats::jain_index(discard), stats::jain_index(droptail));
+}
+
+}  // namespace
+}  // namespace phantom::tcp
