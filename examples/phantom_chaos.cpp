@@ -8,7 +8,7 @@
 //                 [--trials=T] [--seed=S] [--max-faults=K]
 //                 [--max-failures=F] [--shrink=0|1] [--json=PATH]
 //                 [--isolate|--no-isolate] [--jobs=N] [--timeout-ms=T]
-//                 [--resume=PATH] [--misbehave=0|1]
+//                 [--resume=PATH] [--misbehave=0|1] [--rm-blackhole=0|1]
 //
 // Generates T randomized fault schedules for the scenario, runs each
 // under a watchdog (event/sim-time budgets, livelock detection), and
@@ -100,6 +100,11 @@ std::optional<Args> parse(int argc, char** argv) {
       // Opt-in so historical seeds/checkpoints keep their schedules:
       // adds misbehave/comply pairs to the generated fault grammar.
       else if (key == "misbehave") a.search.gen.misbehave = std::stoi(val) != 0;
+      // Opt-in for the same reason: adds directional feedback-blackhole
+      // windows (backward RM loss with paired recovery).
+      else if (key == "rm-blackhole") {
+        a.search.gen.rm_blackhole = std::stoi(val) != 0;
+      }
       else {
         std::fprintf(stderr, "unknown option: --%s\n", key.c_str());
         return std::nullopt;

@@ -8,6 +8,7 @@
 //               [--validate-only]
 //               [--adversaries=N] [--adversary-mode=greedy|forge|partial]
 //               [--compliance=C] [--policing=off|monitor|tag|drop]
+//               [--crm=N] [--cdf=F] [--adtf=MS] [--no-feedback-decay]
 //
 // Runs the scenario, prints the per-session goodput table, fairness
 // index and queue statistics, and (with --csv) writes the fair-share
@@ -32,6 +33,13 @@
 // --adversary-mode (ER-ignoring greedy, RM-forging, or partially
 // compliant with --compliance). --policing arms a per-VC GCRA policer
 // at every switch ingress (see atm/policer.h) in the given action mode.
+//
+// --crm/--cdf/--adtf tune the TM 4.0 feedback-loss backoff (missing-RM
+// threshold, cutoff decrease factor, stale-ACR deadline; see
+// atm/abr_params.h) for every session; --no-feedback-decay disables the
+// backoff entirely — the ablation that shows why it exists. All four
+// are accepted by --validate-only (a replayed chaos plan carries the
+// same source configuration).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -77,6 +85,10 @@ struct Args {
   std::string adversary_mode = "greedy";  // greedy | forge | partial
   double compliance = 0.5;           // partial mode: fraction of ER honoured
   std::string policing = "off";      // off | monitor | tag | drop
+  int crm = 32;                      // missing-RM threshold (FRMs)
+  double cdf = 0.5;                  // cutoff decrease factor per FRM
+  double adtf_ms = 250.0;            // stale-ACR deadline
+  bool feedback_decay = true;        // --no-feedback-decay ablation
 };
 
 /// Resolves --fault-plan=@PATH to the file's contents. The file is the
@@ -113,8 +125,12 @@ std::optional<Args> parse(int argc, char** argv) {
   Args a;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--validate-only") {  // the one bare flag
+    if (arg == "--validate-only") {  // bare flag
       a.validate_only = true;
+      continue;
+    }
+    if (arg == "--no-feedback-decay") {  // bare flag
+      a.feedback_decay = false;
       continue;
     }
     const auto eq = arg.find('=');
@@ -145,6 +161,9 @@ std::optional<Args> parse(int argc, char** argv) {
       else if (key == "adversary-mode") a.adversary_mode = val;
       else if (key == "compliance") a.compliance = std::stod(val);
       else if (key == "policing") a.policing = val;
+      else if (key == "crm") a.crm = std::stoi(val);
+      else if (key == "cdf") a.cdf = std::stod(val);
+      else if (key == "adtf") a.adtf_ms = std::stod(val);
       else {
         std::fprintf(stderr, "unknown option: --%s\n", key.c_str());
         return std::nullopt;
@@ -176,6 +195,10 @@ std::optional<Args> parse(int argc, char** argv) {
   if (a.policing != "off" && a.policing != "monitor" && a.policing != "tag" &&
       a.policing != "drop") {
     std::fprintf(stderr, "unknown policing action: %s\n", a.policing.c_str());
+    return std::nullopt;
+  }
+  if (a.crm < 1 || a.cdf <= 0.0 || a.cdf > 1.0 || a.adtf_ms <= 0.0) {
+    std::fprintf(stderr, "need crm >= 1, cdf in (0, 1], adtf > 0 ms\n");
     return std::nullopt;
   }
   if (a.validate_only && a.fault_plan.empty()) {
@@ -285,6 +308,10 @@ int run_abr_scenario(const Args& args, exp::Algorithm alg) {
   spec.sessions = args.sessions;
   spec.rate_mbps = args.rate_mbps;
   spec.horizon = Time::from_seconds(args.duration_ms / 1e3);
+  spec.abr_params.crm = args.crm;
+  spec.abr_params.cdf = args.cdf;
+  spec.abr_params.adtf = Time::from_seconds(args.adtf_ms / 1e3);
+  spec.abr_params.feedback_decay = args.feedback_decay;
 
   if (args.validate_only) {
     // Dry run: parse the plan and resolve every target against the real
@@ -370,6 +397,9 @@ int run_abr_scenario(const Args& args, exp::Algorithm alg) {
   exp::print_header("cli:" + args.scenario, detail);
   report_abr(sim, net, bottleneck, args, queue.trace(),
              faults ? &*faults : nullptr);
+  if (!args.feedback_decay) {
+    std::printf("feedback-loss decay: DISABLED (ablation)\n");
+  }
   if (args.adversaries > 0) {
     std::printf("adversaries: %d (%s", args.adversaries,
                 args.adversary_mode.c_str());

@@ -30,6 +30,39 @@ struct AbrParams {
   /// out-of-rate FRM whenever none was sent for Trm [Sat96].
   sim::Time trm = sim::Time::ms(100);
 
+  // --- Feedback-loss self-healing (TM 4.0 source rule 5 + ADTF) ---
+  //
+  // An ER-controlled source is only as safe as its feedback channel: if
+  // backward RM cells stop arriving (link outage, RM blackhole), the
+  // last granted rate goes stale and the source would otherwise blast
+  // at it for the whole silence. TM 4.0 closes the loop from the source
+  // side: count forward RM cells sent since the last backward RM was
+  // received, and once `crm` of them are unacknowledged, cut ACR by
+  // `cdf` on every further FRM until feedback resumes.
+
+  /// Crm: missing-RM threshold, in forward RM cells. Must exceed the
+  /// number of FRMs a healthy path keeps in flight (≈ RTT including
+  /// queueing, divided by the FRM spacing) or the decrease fires on
+  /// ordinary congestion transients; 32 clears the stock topologies'
+  /// worst queueing delay with margin.
+  int crm = 32;
+  /// CDF: Cutoff Decrease Factor, ACR *= cdf per FRM once crm is
+  /// exceeded. The decrease never pushes ACR below max(MCR, min(ACR,
+  /// ICR)) — a stale source degrades to its initial rate, not to zero.
+  double cdf = 0.5;
+  /// ADTF: time-based backstop for sources too beaten down to trip the
+  /// Crm counter quickly (their FRM spacing is bounded only by Trm). An
+  /// ACR above ICR with no backward RM for this long snaps to ICR.
+  /// TM 4.0's default is 500 ms; scaled to this repo's sub-second
+  /// horizons the same way Trm is.
+  sim::Time adtf = sim::Time::ms(250);
+  /// Ablation switch (`phantom_cli --no-feedback-decay`): disables both
+  /// the Crm/CDF decrease and the ADTF decay, restoring the pre-self-
+  /// healing behaviour of freezing at the stale ACR. The stale-rate
+  /// invariant still judges such a source — that is the point of the
+  /// ablation.
+  bool feedback_decay = true;
+
   /// Throws std::invalid_argument if the parameter set is inconsistent.
   void validate() const {
     if (pcr.bits_per_sec() <= 0) throw std::invalid_argument{"PCR must be positive"};
@@ -41,6 +74,11 @@ struct AbrParams {
     if (tof <= 0) throw std::invalid_argument{"TOF must be positive"};
     if (trm <= sim::Time::zero())
       throw std::invalid_argument{"Trm must be positive"};
+    if (crm < 1) throw std::invalid_argument{"Crm must be at least 1"};
+    if (cdf <= 0.0 || cdf > 1.0)
+      throw std::invalid_argument{"CDF must be in (0, 1]"};
+    if (adtf <= sim::Time::zero())
+      throw std::invalid_argument{"ADTF must be positive"};
   }
 };
 

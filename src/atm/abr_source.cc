@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace phantom::atm {
 
@@ -22,6 +23,7 @@ AbrSource::AbrSource(sim::Simulator& sim, int vc, AbrParams params,
       params_{params},
       link_{to_network},
       acr_{params.icr},
+      last_granted_er_{std::max(params.icr, params.mcr)},
       acr_trace_{"acr.vc" + std::to_string(vc)} {
   params_.validate();
 }
@@ -31,6 +33,7 @@ void AbrSource::start(sim::Time at) {
   started_ = true;
   sim_->schedule_at(at, [this] {
     active_ = true;
+    last_brm_time_ = sim_->now();  // staleness is measured from startup
     set_acr(acr_);  // record the initial rate
     if (!sending_) {
       sending_ = true;
@@ -50,7 +53,49 @@ Cell AbrSource::make_forward_rm() const {
   return Cell::forward_rm(vc_, effective_rate(), params_.pcr);
 }
 
+void AbrSource::pre_frm_update() {
+  // TM 4.0 source rules, applied at every FRM emission (in-rate and
+  // out-of-rate alike — both keep the missing-RM count honest):
+  //  * ADTF: an ACR above ICR that has heard no backward RM for ADTF is
+  //    stale by definition; snap it to ICR.
+  //  * Crm/CDF: once `crm` FRMs are unanswered, cut ACR by `cdf` per
+  //    further FRM, never below max(MCR, min(ACR, ICR)) — a beaten-down
+  //    source is not pushed lower than it already is.
+  const bool obeys = behavior_ == SourceBehavior::kCompliant ||
+                     behavior_ == SourceBehavior::kPartial;
+  if (obeys && params_.feedback_decay) {
+    const sim::Rate icr_floor = std::max(params_.icr, params_.mcr);
+    if (sim_->now() - last_brm_time_ > params_.adtf && acr_ > icr_floor) {
+      set_acr(icr_floor);
+    } else if (frm_since_brm_ >= static_cast<std::uint64_t>(params_.crm)) {
+      const sim::Rate floor = std::max(params_.mcr, std::min(acr_, params_.icr));
+      const sim::Rate cut = acr_ * params_.cdf;
+      if (cut < acr_) set_acr(std::max(floor, cut));
+    }
+  }
+  ++frm_since_brm_;
+}
+
+sim::Rate AbrSource::stale_rate_envelope() const {
+  if (!active_) return params_.pcr;  // an idle source transmits nothing
+  const sim::Rate icr_floor = std::max(params_.icr, params_.mcr);
+  // The ADTF backstop, with slack for the worst-case FRM spacing (the
+  // decay is applied at FRM emission; the Trm ticker bounds the gap
+  // between FRMs by 1.5 * Trm).
+  if (sim_->now() - last_brm_time_ > params_.adtf + params_.trm * 2.0) {
+    return icr_floor;
+  }
+  if (frm_since_brm_ < static_cast<std::uint64_t>(params_.crm)) {
+    return params_.pcr;  // feedback not yet overdue
+  }
+  const auto overdue = frm_since_brm_ - static_cast<std::uint64_t>(params_.crm);
+  const double decayed = last_granted_er_.bits_per_sec() *
+                         std::pow(params_.cdf, static_cast<double>(overdue));
+  return std::max(icr_floor, sim::Rate::bps(decayed));
+}
+
 void AbrSource::emit_forward_rm() {
+  pre_frm_update();
   Cell cell = make_forward_rm();
   cell.sent_at = sim_->now();
   ++rm_sent_;
@@ -139,9 +184,9 @@ void AbrSource::send_next_cell() {
   // First cell of every Nrm-cell block is the in-rate forward RM cell,
   // so the control loop starts with the very first transmission. CCR
   // carries the rate cells actually leave at.
-  const sim::Rate effective = effective_rate();
   Cell cell;
   if (cells_since_rm_ == 0) {
+    pre_frm_update();  // may lower ACR; CCR below reflects the cut rate
     cell = make_forward_rm();
     ++rm_sent_;
     last_rm_sent_ = sim_->now();
@@ -155,6 +200,9 @@ void AbrSource::send_next_cell() {
   last_send_ = sim_->now();
   link_.deliver(cell);
 
+  // Pace off the post-decay rate: a source that just cut its ACR must
+  // not ride out the old spacing for one more cell.
+  const sim::Rate effective = effective_rate();
   const std::uint64_t epoch = epoch_;
   sim_->schedule(effective.transmission_time(kCellBits), [this, epoch] {
     if (epoch != epoch_) return;  // source was deactivated meanwhile
@@ -174,9 +222,14 @@ void AbrSource::receive_cell(Cell cell) {
 }
 
 void AbrSource::apply_backward_rm(const Cell& cell) {
+  // Feedback is alive again, whatever it says: the missing-RM count and
+  // the ADTF clock restart here.
+  frm_since_brm_ = 0;
+  last_brm_time_ = sim_->now();
   if (behavior_ == SourceBehavior::kGreedy ||
       behavior_ == SourceBehavior::kForging) {
     // Feedback? What feedback. Pin ACR at PCR regardless.
+    last_granted_er_ = params_.pcr;
     set_acr(params_.pcr);
     return;
   }
@@ -196,6 +249,7 @@ void AbrSource::apply_backward_rm(const Cell& cell) {
                            (params_.pcr.bits_per_sec() - er.bits_per_sec())),
         params_.pcr);
   }
+  last_granted_er_ = std::min(er, params_.pcr);
   next = std::min(next, er);
   next = std::min(next, params_.pcr);
   next = std::max(next, params_.mcr);

@@ -38,7 +38,13 @@ enum class SourceBehavior {
 ///    into [max(MCR, TCR), min(ER, PCR)] — the ER clamp is how explicit-
 ///    rate switches (Phantom and the baselines) actually steer sources;
 ///  * use-it-or-lose-it: a source that restarts after being idle longer
-///    than TOF * Nrm / ACR falls back to ICR [Sat96, "TOF"].
+///    than TOF * Nrm / ACR falls back to ICR [Sat96, "TOF"];
+///  * feedback-loss backoff: once `crm` FRMs have gone unanswered, each
+///    further FRM cuts ACR by `cdf` (floored at ICR/MCR), and an ACR
+///    with no backward RM for ADTF snaps to ICR — so a source degrades
+///    gracefully through an outage instead of blasting at a stale rate,
+///    and recovers through the normal increase path when feedback
+///    resumes (TM 4.0 source rules 5 and ADTF).
 ///
 /// On/off workloads drive `set_active`; greedy sources just start once.
 class AbrSource final : public CellSink {
@@ -90,6 +96,25 @@ class AbrSource final : public CellSink {
   [[nodiscard]] std::uint64_t data_cells_sent() const { return data_sent_; }
   [[nodiscard]] std::uint64_t rm_cells_sent() const { return rm_sent_; }
   [[nodiscard]] std::uint64_t brm_cells_received() const { return brm_received_; }
+
+  /// Forward RM cells sent since the last backward RM was received —
+  /// the TM 4.0 missing-RM counter driving the Crm/CDF decrease.
+  [[nodiscard]] std::uint64_t frms_since_brm() const { return frm_since_brm_; }
+  /// When the last backward RM arrived (start time until the first one).
+  [[nodiscard]] sim::Time last_brm_time() const { return last_brm_time_; }
+  /// The ER the source last obeyed (after any kPartial relaxation,
+  /// capped at PCR); ICR before any feedback has arrived.
+  [[nodiscard]] sim::Rate last_granted_er() const { return last_granted_er_; }
+
+  /// The "no stale-rate transmission" envelope: the largest ACR the
+  /// feedback-loss protocol permits this source *right now*. PCR (i.e.
+  /// unconstrained) while feedback is live, inactive, or fewer than Crm
+  /// FRMs are unacknowledged; otherwise the last granted ER shrunk by
+  /// CDF per overdue FRM, floored at max(ICR, MCR); and max(ICR, MCR)
+  /// outright once the ADTF backstop (plus two Trm of FRM-spacing
+  /// slack) has expired. The InvariantMonitor flags any source above
+  /// this — including one whose decay was ablated off.
+  [[nodiscard]] sim::Rate stale_rate_envelope() const;
   /// Self-addressed forged backward RM cells emitted while kForging.
   [[nodiscard]] std::uint64_t forged_brm_sent() const { return forged_brm_sent_; }
 
@@ -101,6 +126,7 @@ class AbrSource final : public CellSink {
   void send_next_cell();
   void emit_forward_rm();
   void on_trm_check();
+  void pre_frm_update();
   void apply_backward_rm(const Cell& cell);
   void set_acr(sim::Rate r);
   [[nodiscard]] Cell make_forward_rm() const;
@@ -122,6 +148,9 @@ class AbrSource final : public CellSink {
   std::uint64_t brm_received_ = 0;
   sim::Time last_send_ = sim::Time::zero();
   sim::Time last_rm_sent_ = sim::Time::zero();
+  std::uint64_t frm_since_brm_ = 0;
+  sim::Time last_brm_time_ = sim::Time::zero();
+  sim::Rate last_granted_er_;
   std::uint64_t epoch_ = 0;        // invalidates stale pacing events
   SourceBehavior behavior_ = SourceBehavior::kCompliant;
   double compliance_ = 1.0;        // kPartial only: 1 = obeys ER fully

@@ -57,6 +57,12 @@ Policer::Verdict Policer::check(const Cell& cell, sim::Rate fair_share,
   return Verdict::kPass;
 }
 
+bool Policer::evict_vc(int vc) {
+  if (vcs_.erase(vc) == 0) return false;
+  ++evicted_;
+  return true;
+}
+
 Policer::VcStats Policer::vc_stats(int vc) const {
   const auto it = vcs_.find(vc);
   return it == vcs_.end() ? VcStats{} : it->second.stats;

@@ -79,6 +79,19 @@ class Policer {
 
   [[nodiscard]] const PolicerConfig& config() const { return config_; }
 
+  /// Evicts one VC's GCRA state (TAT and per-VC counters): the stale-VC
+  /// reaper's half of session teardown. Without this, every VC ever
+  /// policed leaks a table entry forever, and — worse — a VC id reused
+  /// by a new session inherits the dead session's TAT and starts its
+  /// contract already in debt. Aggregate totals are unaffected. Returns
+  /// whether the VC had state to evict.
+  bool evict_vc(int vc);
+
+  /// VCs evicted so far (reaper sweeps + explicit teardowns).
+  [[nodiscard]] std::uint64_t vcs_evicted() const { return evicted_; }
+  /// VCs currently holding GCRA state.
+  [[nodiscard]] std::size_t tracked_vcs() const { return vcs_.size(); }
+
   /// Per-VC counters; zeros for a VC never seen.
   [[nodiscard]] VcStats vc_stats(int vc) const;
   [[nodiscard]] std::uint64_t cells_checked() const {
@@ -107,6 +120,7 @@ class Policer {
   PolicerConfig config_;
   std::unordered_map<int, VcState> vcs_;
   VcStats total_;
+  std::uint64_t evicted_ = 0;
 };
 
 }  // namespace phantom::atm

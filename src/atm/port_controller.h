@@ -8,12 +8,79 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <string>
 
 #include "atm/cell.h"
 #include "sim/time.h"
 
 namespace phantom::atm {
+
+/// Audit record of a controller's warm-start path: when a restart is
+/// "warm", the controller rebuilds its rate estimate from the first
+/// window of observed RM traffic instead of reinstalling its boot
+/// constant, and this records exactly what it rebuilt from.
+struct WarmStartAudit {
+  std::uint64_t warm_restarts = 0;  ///< warm_restart() calls so far
+  bool window_open = false;         ///< still collecting the first window
+  std::uint64_t ccr_samples = 0;    ///< FRM CCRs sampled in the last window
+  double seeded_bps = 0.0;          ///< estimate installed at window close
+};
+
+/// The sampling window behind WarmStartAudit. A controller's
+/// warm_restart() calls begin(); its on_forward_rm feeds every CCR to
+/// sample(); close() yields the mean observed CCR as the warm seed when
+/// the window ends — at the controller's first measurement tick after
+/// RM traffic was seen (ripe()) or after kMaxSamples FRMs, whichever
+/// comes first.
+class WarmStartWindow {
+ public:
+  static constexpr std::uint64_t kMaxSamples = 32;
+
+  void begin() {
+    ++audit_.warm_restarts;
+    audit_.window_open = true;
+    audit_.ccr_samples = 0;
+    audit_.seeded_bps = 0.0;
+    sum_bps_ = 0.0;
+  }
+
+  [[nodiscard]] bool open() const { return audit_.window_open; }
+
+  /// Open and holding at least one sample — ready for a measurement
+  /// tick to close it. A tick that fires before any FRM arrived must
+  /// NOT close the window (an interval-driven controller's first tick
+  /// can beat the first RM cell by orders of magnitude, and closing
+  /// empty would silently turn every warm restart into a cold one).
+  [[nodiscard]] bool ripe() const {
+    return audit_.window_open && audit_.ccr_samples > 0;
+  }
+
+  /// Feeds one FRM's CCR; returns true when the window just filled and
+  /// the caller should close() immediately.
+  bool sample(double ccr_bps) {
+    if (!audit_.window_open) return false;
+    sum_bps_ += ccr_bps;
+    ++audit_.ccr_samples;
+    return audit_.ccr_samples >= kMaxSamples;
+  }
+
+  /// Ends the window: the mean observed CCR, or nothing when no RM
+  /// traffic was seen at all (the caller stays on its cold boot value).
+  std::optional<double> close() {
+    audit_.window_open = false;
+    if (audit_.ccr_samples == 0) return std::nullopt;
+    return sum_bps_ / static_cast<double>(audit_.ccr_samples);
+  }
+
+  void record_seed(double bps) { audit_.seeded_bps = bps; }
+  [[nodiscard]] const WarmStartAudit& audit() const { return audit_; }
+
+ private:
+  WarmStartAudit audit_;
+  double sum_bps_ = 0.0;
+};
 
 /// Flow-control algorithm attached to one switch output port.
 ///
@@ -54,6 +121,27 @@ class PortController {
   /// the fair share from measurements alone — the recovery claim the
   /// resilience benches quantify. Default: stateless controller, no-op.
   virtual void reset() {}
+
+  /// Warm variant of reset(): wipe learned state, then rebuild the rate
+  /// estimate from the first window of RM traffic observed after the
+  /// restart (see WarmStartWindow) instead of cold-booting at the
+  /// initial constant — a deployable switch does not forget what the
+  /// wire is still telling it. Controllers with no warm path fall back
+  /// to a cold reset. warm_audit() exposes what was rebuilt.
+  virtual void warm_restart() { reset(); }
+
+  /// The warm-start audit record; nullptr for controllers without a
+  /// warm path.
+  [[nodiscard]] virtual const WarmStartAudit* warm_audit() const {
+    return nullptr;
+  }
+
+  /// A VC routed through this port was declared dead (the switch's
+  /// stale-VC reaper, or an explicit teardown): whatever per-VC or
+  /// session-count state the controller keeps for it must be released
+  /// so surviving sessions reclaim the share. Constant-space
+  /// controllers have nothing to release; default no-op.
+  virtual void vc_expired(int vc) { (void)vc; }
 
   /// Whether a data cell entering the queue should have EFCI set.
   [[nodiscard]] virtual bool mark_efci(std::size_t queue_len) const {

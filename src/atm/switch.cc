@@ -1,10 +1,19 @@
 #include "atm/switch.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 namespace phantom::atm {
+
+void ReaperConfig::validate() const {
+  if (timeout <= sim::Time::zero())
+    throw std::invalid_argument{"reaper timeout must be positive"};
+  if (period <= sim::Time::zero())
+    throw std::invalid_argument{"reaper period must be positive"};
+}
 
 std::size_t Switch::add_port(sim::Rate rate, std::size_t queue_limit,
                              Link link,
@@ -28,6 +37,42 @@ void Switch::route_vc(int vc, std::size_t forward_port,
 
 void Switch::enable_policing(PolicerConfig config) {
   policer_ = std::make_unique<Policer>(config);
+}
+
+void Switch::enable_reaping(ReaperConfig config) {
+  config.validate();
+  reaper_config_ = config;
+  if (!reaping_) {
+    reaping_ = true;
+    sim_->schedule(reaper_config_.period, [this] { on_reap_tick(); });
+  }
+}
+
+void Switch::on_reap_tick() {
+  // Collect first, then evict in VC order: eviction order must not
+  // depend on hash-table iteration so runs stay bit-reproducible.
+  std::vector<int> dead;
+  const sim::Time now = sim_->now();
+  for (const auto& [vc, last] : last_activity_) {
+    if (now - last > reaper_config_.timeout) dead.push_back(vc);
+  }
+  std::sort(dead.begin(), dead.end());
+  for (const int vc : dead) evict_vc(vc);
+  sim_->schedule(reaper_config_.period, [this] { on_reap_tick(); });
+}
+
+bool Switch::evict_vc(int vc) {
+  const bool had_activity = last_activity_.erase(vc) > 0;
+  const bool had_policer_state = policer_ && policer_->evict_vc(vc);
+  if (!had_activity && !had_policer_state) return false;
+  ++vcs_reaped_;
+  // Both directions' controllers get the notification: session-count
+  // and per-VC state can live on either side of the route.
+  if (const auto it = routes_.find(vc); it != routes_.end()) {
+    ports_[it->second.forward_port]->controller().vc_expired(vc);
+    ports_[it->second.backward_port]->controller().vc_expired(vc);
+  }
+  return true;
 }
 
 void Switch::sanitize_rm(Cell& cell, sim::Rate link_rate) {
@@ -64,6 +109,7 @@ void Switch::receive_cell(Cell cell) {
     return;
   }
   const Route route = it->second;
+  if (reaping_) last_activity_[cell.vc] = sim_->now();
   OutputPort& fwd = *ports_[route.forward_port];
   // ER/CCR refer to the forward direction either way, so the forward
   // link's capacity is the sanity cap for both cell directions.

@@ -12,6 +12,17 @@
 
 namespace phantom::atm {
 
+/// Stale-VC reaper policy: a VC silent for `timeout` is declared dead
+/// by the next periodic sweep. "Silent" means no cell of any kind — a
+/// beaten-down but live session still turns RM cells well inside any
+/// sane timeout (the Trm ticker bounds its FRM spacing by 100 ms).
+struct ReaperConfig {
+  sim::Time timeout = sim::Time::ms(100);  ///< silence that means death
+  sim::Time period = sim::Time::ms(25);    ///< sweep cadence
+
+  void validate() const;
+};
+
 /// A switch is a set of output ports plus a VC routing table. Forward
 /// cells (data / FRM) of a VC exit via the VC's forward port; backward
 /// RM cells exit via the VC's backward port *after* the forward port's
@@ -62,7 +73,29 @@ class Switch final : public CellSink {
     return rm_sanitized_;
   }
 
+  /// Starts the stale-VC reaper: every `period` the switch sweeps its
+  /// per-VC activity timestamps and evicts VCs silent for longer than
+  /// `timeout` — policer GCRA state goes, and both the forward and the
+  /// backward port controllers get a vc_expired() so session-count
+  /// state releases the dead VC's share. The route stays: a reused VC
+  /// id simply re-registers on its next cell, with a fresh contract.
+  void enable_reaping(ReaperConfig config);
+
+  /// Explicit teardown of one VC's dynamic state (the reaper's eviction
+  /// path, callable directly when the caller *knows* the session is
+  /// gone rather than inferring it from silence). Returns whether any
+  /// state existed.
+  bool evict_vc(int vc);
+
+  /// VCs evicted so far (reaper sweeps + explicit evict_vc calls).
+  [[nodiscard]] std::uint64_t vcs_reaped() const { return vcs_reaped_; }
+  /// VCs with a live activity timestamp (seen and not yet evicted).
+  [[nodiscard]] std::size_t active_vcs() const { return last_activity_.size(); }
+  [[nodiscard]] bool reaping_enabled() const { return reaping_; }
+
  private:
+  void on_reap_tick();
+
   /// Clamps hostile RM field values before any controller sees them.
   void sanitize_rm(Cell& cell, sim::Rate link_rate);
 
@@ -78,6 +111,10 @@ class Switch final : public CellSink {
   std::uint64_t unrouted_ = 0;
   std::unique_ptr<Policer> policer_;
   std::uint64_t rm_sanitized_ = 0;
+  bool reaping_ = false;
+  ReaperConfig reaper_config_;
+  std::unordered_map<int, sim::Time> last_activity_;
+  std::uint64_t vcs_reaped_ = 0;
 };
 
 }  // namespace phantom::atm

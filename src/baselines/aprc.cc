@@ -36,9 +36,21 @@ void AprcController::reset() {
   macr_trace_.record(sim_->now(), macr_);
 }
 
+void AprcController::warm_restart() {
+  reset();
+  warm_.begin();
+}
+
 void AprcController::on_forward_rm(atm::Cell& cell, std::size_t) {
-  macr_ += config_.averaging * (cell.ccr.bits_per_sec() - macr_);
-  macr_ = std::clamp(macr_, 0.0, link_bps_);
+  if (warm_.open() && warm_.sample(cell.ccr.bits_per_sec())) {
+    if (const auto seed = warm_.close()) {
+      macr_ = std::clamp(*seed, 0.0, link_bps_);
+      warm_.record_seed(macr_);
+    }
+  } else {
+    macr_ += config_.averaging * (cell.ccr.bits_per_sec() - macr_);
+    macr_ = std::clamp(macr_, 0.0, link_bps_);
+  }
   macr_trace_.record(sim_->now(), macr_);
 }
 

@@ -54,6 +54,10 @@ class AprcController final : public atm::PortController {
   void on_forward_rm(atm::Cell& cell, std::size_t queue_len) override;
   void on_backward_rm(atm::Cell& cell, std::size_t queue_len) override;
   void reset() override;
+  void warm_restart() override;
+  [[nodiscard]] const atm::WarmStartAudit* warm_audit() const override {
+    return &warm_.audit();
+  }
 
   [[nodiscard]] sim::Rate fair_share() const override {
     return sim::Rate::bps(macr_);
@@ -72,6 +76,7 @@ class AprcController final : public atm::PortController {
   std::size_t last_queue_len_ = 0;
   std::size_t current_queue_len_ = 0;
   bool congested_ = false;
+  atm::WarmStartWindow warm_;
   sim::Trace macr_trace_;
 };
 

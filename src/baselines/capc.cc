@@ -27,7 +27,29 @@ void CapcController::on_cell_accepted(const atm::Cell&, std::size_t) {
 
 void CapcController::on_cell_dropped(const atm::Cell&) { ++arrived_cells_; }
 
+void CapcController::on_forward_rm(atm::Cell& cell, std::size_t) {
+  // CAPC learns nothing from CCRs in steady state; the warm-start audit
+  // window is the only listener.
+  if (warm_.open() && warm_.sample(cell.ccr.bits_per_sec())) {
+    close_warm_window();
+  }
+}
+
+void CapcController::close_warm_window() {
+  if (const auto seed = warm_.close()) {
+    ers_ = std::clamp(*seed, config_.min_ers.bits_per_sec(), target_bps_);
+    warm_.record_seed(ers_);
+    ers_trace_.record(sim_->now(), ers_);
+  }
+}
+
+void CapcController::warm_restart() {
+  reset();
+  warm_.begin();
+}
+
 void CapcController::on_interval() {
+  if (warm_.ripe()) close_warm_window();  // first tick after RM traffic
   const double offered_bps = static_cast<double>(arrived_cells_) *
                              static_cast<double>(atm::kCellBits) /
                              config_.interval.seconds();

@@ -60,8 +60,13 @@ class CapcController final : public atm::PortController {
 
   void on_cell_accepted(const atm::Cell& cell, std::size_t queue_len) override;
   void on_cell_dropped(const atm::Cell& cell) override;
+  void on_forward_rm(atm::Cell& cell, std::size_t queue_len) override;
   void on_backward_rm(atm::Cell& cell, std::size_t queue_len) override;
   void reset() override;
+  void warm_restart() override;
+  [[nodiscard]] const atm::WarmStartAudit* warm_audit() const override {
+    return &warm_.audit();
+  }
 
   [[nodiscard]] sim::Rate fair_share() const override {
     return sim::Rate::bps(ers_);
@@ -71,12 +76,14 @@ class CapcController final : public atm::PortController {
 
  private:
   void on_interval();
+  void close_warm_window();
 
   sim::Simulator* sim_;
   CapcConfig config_;
   double target_bps_;  // u * C
   double ers_;
   std::uint64_t arrived_cells_ = 0;
+  atm::WarmStartWindow warm_;
   sim::Trace ers_trace_;
 };
 

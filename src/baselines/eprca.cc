@@ -18,14 +18,29 @@ EprcaController::EprcaController(sim::Simulator& sim, sim::Rate link_capacity,
 }
 
 void EprcaController::on_forward_rm(atm::Cell& cell, std::size_t) {
-  macr_ += config_.averaging * (cell.ccr.bits_per_sec() - macr_);
-  macr_ = std::clamp(macr_, 0.0, link_bps_);
+  // After a warm restart, the first window of CCRs replaces the slow
+  // 1/16-gain crawl from the boot constant with a one-shot seed at the
+  // mean observed sending rate.
+  if (warm_.open() && warm_.sample(cell.ccr.bits_per_sec())) {
+    if (const auto seed = warm_.close()) {
+      macr_ = std::clamp(*seed, 0.0, link_bps_);
+      warm_.record_seed(macr_);
+    }
+  } else {
+    macr_ += config_.averaging * (cell.ccr.bits_per_sec() - macr_);
+    macr_ = std::clamp(macr_, 0.0, link_bps_);
+  }
   macr_trace_.record(sim_->now(), macr_);
 }
 
 void EprcaController::reset() {
   macr_ = std::min(config_.initial_macr.bits_per_sec(), link_bps_);
   macr_trace_.record(sim_->now(), macr_);
+}
+
+void EprcaController::warm_restart() {
+  reset();
+  warm_.begin();
 }
 
 void EprcaController::on_backward_rm(atm::Cell& cell, std::size_t queue_len) {

@@ -54,6 +54,10 @@ class EprcaController final : public atm::PortController {
   void on_forward_rm(atm::Cell& cell, std::size_t queue_len) override;
   void on_backward_rm(atm::Cell& cell, std::size_t queue_len) override;
   void reset() override;
+  void warm_restart() override;
+  [[nodiscard]] const atm::WarmStartAudit* warm_audit() const override {
+    return &warm_.audit();
+  }
 
   [[nodiscard]] sim::Rate fair_share() const override {
     return sim::Rate::bps(macr_);
@@ -66,6 +70,7 @@ class EprcaController final : public atm::PortController {
   EprcaConfig config_;
   double link_bps_;
   double macr_;
+  atm::WarmStartWindow warm_;
   sim::Trace macr_trace_;
 };
 

@@ -31,7 +31,29 @@ void EricaController::on_forward_rm(atm::Cell& cell, std::size_t) {
   VcState& vc = vcs_[cell.vc];
   vc.ccr_bps = cell.ccr.bits_per_sec();
   vc.last_seen_interval = interval_index_;
+  if (warm_.open() && warm_.sample(cell.ccr.bits_per_sec())) {
+    close_warm_window();
+  }
 }
+
+void EricaController::close_warm_window() {
+  // The per-VC table has been refilling since the restart (every FRM
+  // above re-registers its VC); the audit window additionally seeds the
+  // advertised share at the mean observed CCR so the first BRMs out of
+  // the restarted port do not clamp everyone to the boot constant.
+  if (const auto seed = warm_.close()) {
+    fair_share_ = std::clamp(*seed, 0.0, target_bps_);
+    warm_.record_seed(fair_share_);
+    trace_.record(sim_->now(), fair_share_);
+  }
+}
+
+void EricaController::warm_restart() {
+  reset();
+  warm_.begin();
+}
+
+void EricaController::vc_expired(int vc) { vcs_.erase(vc); }
 
 void EricaController::reset() {
   // ERICA's per-VC table is exactly the state the constant-space class
@@ -45,6 +67,7 @@ void EricaController::reset() {
 }
 
 void EricaController::on_interval() {
+  if (warm_.ripe()) close_warm_window();  // first tick after RM traffic
   const double input_bps = static_cast<double>(arrived_cells_) *
                            static_cast<double>(atm::kCellBits) /
                            config_.interval.seconds();

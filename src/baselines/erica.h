@@ -53,6 +53,14 @@ class EricaController final : public atm::PortController {
   void on_forward_rm(atm::Cell& cell, std::size_t queue_len) override;
   void on_backward_rm(atm::Cell& cell, std::size_t queue_len) override;
   void reset() override;
+  void warm_restart() override;
+  [[nodiscard]] const atm::WarmStartAudit* warm_audit() const override {
+    return &warm_.audit();
+  }
+  /// Releases a reaped VC's table entry immediately — the reaper's
+  /// deadline is authoritative, no need to wait out the controller's
+  /// own activity_timeout_intervals.
+  void vc_expired(int vc) override;
 
   [[nodiscard]] sim::Rate fair_share() const override {
     return sim::Rate::bps(fair_share_);
@@ -69,6 +77,7 @@ class EricaController final : public atm::PortController {
   };
 
   void on_interval();
+  void close_warm_window();
 
   sim::Simulator* sim_;
   EricaConfig config_;
@@ -78,6 +87,7 @@ class EricaController final : public atm::PortController {
   std::uint64_t arrived_cells_ = 0;
   std::uint64_t interval_index_ = 0;
   std::unordered_map<int, VcState> vcs_;  // O(connections) — by design
+  atm::WarmStartWindow warm_;
   sim::Trace trace_;
 };
 

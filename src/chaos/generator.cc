@@ -67,7 +67,14 @@ FaultPlan generate_plan(sim::Rng& rng, const ScenarioSpec& spec,
       rng.uniform_int(opt.min_events, std::max(opt.min_events, opt.max_events)));
   while (static_cast<int>(plan.events.size()) < target_events) {
     const Time at = pick_ms(rng, lo_ms, hi_ms);
-    switch (rng.uniform_int(0, opt.misbehave ? 6 : 5)) {
+    // Opt-in kinds widen the draw range without renumbering the stable
+    // kinds: a `misbehave`-only seed still maps 6 -> misbehave, and
+    // when only rm_blackhole is on the single extra slot is remapped
+    // onto its case below.
+    const int extras = (opt.misbehave ? 1 : 0) + (opt.rm_blackhole ? 1 : 0);
+    auto kind = rng.uniform_int(0, 5 + extras);
+    if (kind == 6 && !opt.misbehave) kind = 7;
+    switch (kind) {
       case 0:
         plan.outage(pick_link_target(rng, topo), at,
                     pick_ms(rng, 1, dur_ms));
@@ -119,6 +126,15 @@ FaultPlan generate_plan(sim::Rng& rng, const ScenarioSpec& spec,
         plan.comply(s, at + pick_ms(rng, 2, gap_ms));
         break;
       }
+      case 7:
+        // Feedback blackhole: recovery is paired into the event (the
+        // window end restores the reverse link), so the end state
+        // matches the fault-free run like every other windowed fault.
+        // Drop probability on the two-decimal lattice; 1.00 serializes
+        // without the optional field and parses back to the default.
+        plan.rm_blackhole(pick_link_target(rng, topo), at,
+                          pick_ms(rng, 1, dur_ms), pick_pct(rng, 50, 100));
+        break;
     }
   }
   return plan;

@@ -34,6 +34,10 @@ struct GenOptions {
   /// the default preserves historical plans (and checkpoints) from
   /// seeds recorded before this fault kind existed.
   bool misbehave = false;
+  /// Include `rm_blackhole` faults (directional backward-RM loss — the
+  /// feedback path goes dark while data keeps flowing) in the sampled
+  /// kind mix. Opt-in for the same seed-stability reason as misbehave.
+  bool rm_blackhole = false;
 };
 
 /// Samples a fault schedule for `spec`'s topology. Guarantees:

@@ -61,7 +61,9 @@ atm::OutputPort& build_topology(const ScenarioSpec& spec,
       topo::TrunkOptions opts;
       opts.rate = Rate::mbps(spec.rate_mbps);
       const auto dest = net.add_destination(sw, opts);
-      for (int i = 0; i < spec.sessions; ++i) net.add_session(sw, {}, dest);
+      for (int i = 0; i < spec.sessions; ++i) {
+        net.add_session(sw, {}, dest, spec.abr_params);
+      }
       return net.dest_port(dest);
     }
     case ScenarioSpec::Kind::kParking: {
@@ -80,13 +82,14 @@ atm::OutputPort& build_topology(const ScenarioSpec& spec,
       topo::TrunkOptions stub;
       stub.controlled = false;
       stub.rate = Rate::mbps(4 * spec.rate_mbps);
-      net.add_session(sw[0], trunks, d_end);  // the long session
-      for (int i = 0; i < hops; ++i) {        // one local per hop
+      net.add_session(sw[0], trunks, d_end, spec.abr_params);  // long session
+      for (int i = 0; i < hops; ++i) {                         // one local per hop
         const auto exit_sw = sw[static_cast<std::size_t>(i + 1)];
         const auto d =
             i + 1 == hops ? d_end : net.add_destination(exit_sw, stub);
         net.add_session(sw[static_cast<std::size_t>(i)],
-                        {trunks[static_cast<std::size_t>(i)]}, d);
+                        {trunks[static_cast<std::size_t>(i)]}, d,
+                        spec.abr_params);
       }
       return net.trunk_port(trunks[0]);
     }

@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 
+#include "atm/abr_params.h"
 #include "atm/output_port.h"
 #include "exp/factories.h"
 #include "topo/abr_network.h"
@@ -27,6 +28,10 @@ struct ScenarioSpec {
   int sessions = 3;
   double rate_mbps = 150.0;
   sim::Time horizon = sim::Time::ms(600);
+  /// Source parameters for every ABR session (crm/cdf/adtf tuning and
+  /// the --no-feedback-decay ablation ride through here); defaults are
+  /// the TM 4.0 values phantom_cli uses.
+  atm::AbrParams abr_params{};
 
   /// Tests plant deliberately broken controllers here (the chaos
   /// harness's own regression tests); empty = make_factory(algorithm).

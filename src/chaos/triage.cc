@@ -101,6 +101,18 @@ std::string failure_fingerprint(const TrialResult& r,
       return std::string{to_string(r.verdict)} + "|misbehave|" +
              std::to_string(adversaries.size());
     }
+    // Checked after misbehave so pre-existing fingerprints are
+    // unchanged: a plan with both gets the misbehave class (defection
+    // dominates — the blackhole only starves feedback the defector was
+    // ignoring anyway).
+    std::size_t blackholes = 0;
+    for (const fault::FaultEvent& e : plan->events) {
+      if (e.kind == fault::FaultEvent::Kind::kRmBlackhole) ++blackholes;
+    }
+    if (blackholes > 0) {
+      return std::string{to_string(r.verdict)} + "|rm_blackhole|" +
+             std::to_string(blackholes);
+    }
   }
   return failure_fingerprint(r);
 }

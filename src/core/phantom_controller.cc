@@ -28,7 +28,24 @@ void PhantomController::on_cell_dropped(const atm::Cell&) {
   ++arrived_cells_;
 }
 
+void PhantomController::on_forward_rm(atm::Cell& cell, std::size_t) {
+  // Phantom learns nothing from FRMs in steady state (constant space);
+  // the only listener is the warm-start audit window after a restart.
+  if (warm_.open() && warm_.sample(cell.ccr.bits_per_sec())) {
+    close_warm_window();
+  }
+}
+
+void PhantomController::close_warm_window() {
+  if (const auto seed = warm_.close()) {
+    filter_.seed(sim::Rate::bps(*seed));
+    warm_.record_seed(filter_.macr().bits_per_sec());
+    macr_trace_.record(sim_->now(), filter_.macr().bits_per_sec());
+  }
+}
+
 void PhantomController::on_interval() {
+  if (warm_.ripe()) close_warm_window();  // first tick after RM traffic
   const double cells = static_cast<double>(arrived_cells_);
   arrived_cells_ = 0;
   const sim::Rate offered = sim::Rate::bps(
@@ -41,13 +58,22 @@ void PhantomController::on_interval() {
 }
 
 void PhantomController::reset() {
-  // Warm restart: MACR/DEV wiped, interval timer keeps ticking (the
+  // Cold restart: MACR/DEV wiped, interval timer keeps ticking (the
   // restarted controller immediately resumes measuring). The trace keeps
   // its history so the restart transient is visible in the figures.
   filter_.reset();
   arrived_cells_ = 0;
   over_subscribed_ = false;
   macr_trace_.record(sim_->now(), filter_.macr().bits_per_sec());
+}
+
+void PhantomController::warm_restart() {
+  // Same wipe as a cold reset, but the next window of FRM traffic
+  // re-seeds MACR at the rate sources are demonstrably sending at —
+  // the restarted port resumes steering near the old operating point
+  // instead of clamping everyone back to the boot constant.
+  reset();
+  warm_.begin();
 }
 
 void PhantomController::on_backward_rm(atm::Cell& cell, std::size_t) {

@@ -33,8 +33,13 @@ class PhantomController final : public atm::PortController {
 
   void on_cell_accepted(const atm::Cell& cell, std::size_t queue_len) override;
   void on_cell_dropped(const atm::Cell& cell) override;
+  void on_forward_rm(atm::Cell& cell, std::size_t queue_len) override;
   void on_backward_rm(atm::Cell& cell, std::size_t queue_len) override;
   void reset() override;
+  void warm_restart() override;
+  [[nodiscard]] const atm::WarmStartAudit* warm_audit() const override {
+    return &warm_.audit();
+  }
   [[nodiscard]] bool mark_efci(std::size_t queue_len) const override;
 
   [[nodiscard]] sim::Rate fair_share() const override { return filter_.macr(); }
@@ -46,8 +51,10 @@ class PhantomController final : public atm::PortController {
 
  private:
   void on_interval();
+  void close_warm_window();
 
   bool over_subscribed_ = false;  // binary mode: last interval's verdict
+  atm::WarmStartWindow warm_;
 
   sim::Simulator* sim_;
   PhantomConfig config_;

@@ -28,6 +28,11 @@ void ResidualFilter::reset() {
   dev_ = 0.0;
 }
 
+void ResidualFilter::seed(sim::Rate macr) {
+  macr_ = std::clamp(macr.bits_per_sec(), floor_, target_);
+  dev_ = 0.0;
+}
+
 sim::Rate ResidualFilter::update(sim::Rate offered) {
   const double delta = target_ - offered.bits_per_sec();  // residual bandwidth
   const double err = delta - macr_;

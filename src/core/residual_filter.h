@@ -36,6 +36,11 @@ class ResidualFilter {
   /// in a handful of measurement intervals).
   void reset();
 
+  /// Installs a measured starting point (the warm-restart path): MACR
+  /// jumps to `macr` clamped into [min_macr, u·C], DEV restarts at zero
+  /// exactly as after reset() — only the operating point differs.
+  void seed(sim::Rate macr);
+
   [[nodiscard]] sim::Rate macr() const { return sim::Rate::bps(macr_); }
   [[nodiscard]] double deviation_bps() const { return dev_; }
   [[nodiscard]] sim::Rate target() const { return sim::Rate::bps(target_); }

@@ -33,6 +33,22 @@ std::vector<std::shared_ptr<atm::LinkState>> FaultInjector::links_of(
   return {};
 }
 
+std::vector<std::shared_ptr<atm::LinkState>> FaultInjector::reverse_links_of(
+    FaultTarget t) const {
+  switch (t.kind) {
+    case FaultTarget::Kind::kTrunk:
+      check_index(t.index, net_->num_trunks(), "trunk");
+      return {net_->trunk_reverse_port(t.index).link().state()};
+    case FaultTarget::Kind::kDest:
+      check_index(t.index, net_->num_destinations(), "dest");
+      return {net_->destination(t.index).link().state()};
+    case FaultTarget::Kind::kSession:
+      throw std::invalid_argument{
+          "fault plan: rm_blackhole cannot target a session"};
+  }
+  return {};
+}
+
 atm::PortController& FaultInjector::controller_of(FaultTarget t) const {
   switch (t.kind) {
     case FaultTarget::Kind::kTrunk:
@@ -54,11 +70,14 @@ void FaultInjector::validate(const FaultEvent& e) const {
     case K::kFlap:
     case K::kBurst:
     case K::kRmFault:
+    case K::kRmBlackhole:
     case K::kRestart: {
       // Resolve the target now: .at() throws std::out_of_range on a bad
       // index, before anything was scheduled.
       if (e.kind == K::kRestart) {
         (void)controller_of(e.target);
+      } else if (e.kind == K::kRmBlackhole) {
+        (void)reverse_links_of(e.target);
       } else {
         (void)links_of(e.target);
       }
@@ -166,13 +185,35 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
       });
       break;
     }
+    case K::kRmBlackhole: {
+      auto links = reverse_links_of(e.target);
+      const std::string name = e.target.to_string();
+      const double drop = e.rm_loss;
+      sim_->schedule_at(e.at, [this, links, name, drop] {
+        for (const auto& st : links) st->rm_loss = drop;
+        record("feedback blackhole begins on " + name +
+               " (backward RM cells dropped)");
+      });
+      sim_->schedule_at(e.at + e.duration, [this, links, name] {
+        for (const auto& st : links) st->rm_loss = 0.0;
+        record("feedback blackhole ends on " + name + " (restored)");
+      });
+      break;
+    }
     case K::kRestart: {
       atm::PortController* ctl = &controller_of(e.target);
       const std::string name = e.target.to_string();
-      sim_->schedule_at(e.at, [this, ctl, name] {
-        ctl->reset();
-        record("controller restart on " + name + " (" + ctl->name() +
-               " state wiped)");
+      const bool warm = e.warm;
+      sim_->schedule_at(e.at, [this, ctl, name, warm] {
+        if (warm) {
+          ctl->warm_restart();
+          record("controller warm restart on " + name + " (" + ctl->name() +
+                 " reseeding from observed RM traffic)");
+        } else {
+          ctl->reset();
+          record("controller restart on " + name + " (" + ctl->name() +
+                 " state wiped)");
+        }
       });
       break;
     }

@@ -26,9 +26,12 @@ struct AppliedFault {
 /// Target semantics:
 ///  * trunk  — both directions of the duplex trunk (outage/burst/RM
 ///             faults sever data *and* the returning RM feedback);
-///             restart hits the forward port's controller.
-///  * dest   — the link feeding the destination endpoint; restart hits
-///             the destination port's controller.
+///             rm_blackhole hits only the reverse port (backward RM
+///             cells); restart hits the forward port's controller.
+///  * dest   — the link feeding the destination endpoint; rm_blackhole
+///             hits the endpoint's access link (where turned BRM cells
+///             head back); restart hits the destination port's
+///             controller.
 ///  * session — ABR source churn (leave deactivates; join re-activates,
 ///             or starts a source that was never started).
 ///
@@ -69,6 +72,12 @@ class FaultInjector {
   /// Link-state blocks a link-level fault acts on (1 for dest targets,
   /// 2 for trunks — forward + reverse).
   [[nodiscard]] std::vector<std::shared_ptr<atm::LinkState>> links_of(
+      FaultTarget t) const;
+  /// Feedback-direction hops only, for kRmBlackhole: a trunk's reverse
+  /// port (which carries nothing but returning RM cells) or the
+  /// destination endpoint's access link (where turned BRM cells start
+  /// their trip home). Data and forward RM cells never cross these.
+  [[nodiscard]] std::vector<std::shared_ptr<atm::LinkState>> reverse_links_of(
       FaultTarget t) const;
   [[nodiscard]] atm::PortController& controller_of(FaultTarget t) const;
   void validate(const FaultEvent& e) const;

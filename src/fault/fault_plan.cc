@@ -14,6 +14,7 @@ namespace {
     case FaultEvent::Kind::kFlap:    return "flap";
     case FaultEvent::Kind::kBurst:   return "burst";
     case FaultEvent::Kind::kRmFault: return "rmloss";
+    case FaultEvent::Kind::kRmBlackhole: return "rm_blackhole";
     case FaultEvent::Kind::kRestart: return "restart";
     case FaultEvent::Kind::kLeave:   return "leave";
     case FaultEvent::Kind::kJoin:    return "join";
@@ -159,8 +160,9 @@ bool operator==(const FaultEvent& a, const FaultEvent& b) {
          a.up_period == b.up_period && a.cycles == b.cycles &&
          a.p_good_bad == b.p_good_bad && a.p_bad_good == b.p_bad_good &&
          a.loss_bad == b.loss_bad && a.rm_loss == b.rm_loss &&
-         a.rm_corrupt == b.rm_corrupt && a.mode == b.mode &&
-         a.compliance == b.compliance && a.label == b.label;
+         a.rm_corrupt == b.rm_corrupt && a.warm == b.warm &&
+         a.mode == b.mode && a.compliance == b.compliance &&
+         a.label == b.label;
 }
 
 std::string FaultEvent::to_spec() const {
@@ -180,8 +182,15 @@ std::string FaultEvent::to_spec() const {
       return "rmloss:" + target.to_string() + ':' + format_ms(at) + ':' +
              format_ms(duration) + ':' + format_num(rm_loss) + ':' +
              format_num(rm_corrupt);
+    case Kind::kRmBlackhole:
+      // A full blackout (the default) omits the probability so the
+      // shortest spelling round-trips; partial blackholes carry it.
+      return "rm_blackhole:" + target.to_string() + ':' + format_ms(at) + ':' +
+             format_ms(duration) +
+             (rm_loss == 1.0 ? std::string{} : ':' + format_num(rm_loss));
     case Kind::kRestart:
-      return "restart:" + target.to_string() + ':' + format_ms(at);
+      return "restart:" + target.to_string() + ':' + format_ms(at) +
+             (warm ? ":warm" : std::string{});
     case Kind::kLeave:
       return "leave:" + std::to_string(target.index) + ':' + format_ms(at);
     case Kind::kJoin:
@@ -215,6 +224,13 @@ std::string FaultEvent::describe() const {
     case Kind::kBurst:
     case Kind::kRmFault:
       out << " for " << duration.to_string();
+      break;
+    case Kind::kRmBlackhole:
+      out << " for " << duration.to_string() << " (backward RM x"
+          << format_num(rm_loss) << ')';
+      break;
+    case Kind::kRestart:
+      out << (warm ? " (warm)" : " (cold)");
       break;
     case Kind::kFlap:
       out << " x" << cycles << " (" << down_period.to_string() << " down / "
@@ -284,11 +300,29 @@ FaultPlan& FaultPlan::rm_fault(FaultTarget t, sim::Time at, sim::Time duration,
   return *this;
 }
 
-FaultPlan& FaultPlan::restart(FaultTarget t, sim::Time at) {
+FaultPlan& FaultPlan::rm_blackhole(FaultTarget t, sim::Time at,
+                                   sim::Time duration,
+                                   double drop_probability) {
+  if (drop_probability < 0.0 || drop_probability > 1.0) {
+    throw std::invalid_argument{
+        "rm_blackhole: drop probability must be in [0,1]"};
+  }
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kRmBlackhole;
+  e.target = t;
+  e.at = at;
+  e.duration = duration;
+  e.rm_loss = drop_probability;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart(FaultTarget t, sim::Time at, bool warm) {
   FaultEvent e;
   e.kind = FaultEvent::Kind::kRestart;
   e.target = t;
   e.at = at;
+  e.warm = warm;
   events.push_back(std::move(e));
   return *this;
 }
@@ -363,6 +397,7 @@ sim::Time FaultPlan::last_recovery_time() const {
       case FaultEvent::Kind::kOutage:
       case FaultEvent::Kind::kBurst:
       case FaultEvent::Kind::kRmFault:
+      case FaultEvent::Kind::kRmBlackhole:
         end = e.at + e.duration;
         break;
       case FaultEvent::Kind::kFlap:
@@ -431,9 +466,25 @@ void FaultPlan::parse_event(const std::string& item) {
                     f.size() == 6
                         ? parse_probability(f[5], "RM corrupt probability")
                         : 0.0);
+    } else if (kind == "rm_blackhole") {
+      expect_fields(f, 4, 5, kind);
+      plan.rm_blackhole(parse_target(f[1]), parse_ms(f[2], "time"),
+                        parse_ms(f[3], "duration"),
+                        f.size() == 5
+                            ? parse_probability(f[4], "RM drop probability")
+                            : 1.0);
     } else if (kind == "restart") {
-      expect_fields(f, 3, 3, kind);
-      plan.restart(parse_target(f[1]), parse_ms(f[2], "time"));
+      expect_fields(f, 3, 4, kind);
+      bool warm = false;
+      if (f.size() == 4) {
+        if (f[3] == "warm") {
+          warm = true;
+        } else if (f[3] != "cold") {
+          throw std::invalid_argument{"fault plan: unknown restart mode '" +
+                                      f[3] + "' (want warm or cold)"};
+        }
+      }
+      plan.restart(parse_target(f[1]), parse_ms(f[2], "time"), warm);
     } else if (kind == "leave" || kind == "join" || kind == "comply") {
       expect_fields(f, 3, 3, kind);
       const std::size_t s = parse_session(f[1]);

@@ -53,6 +53,10 @@ struct FaultEvent {
     kFlap,       ///< `cycles` down/up windows starting at `at`
     kBurst,      ///< Gilbert–Elliott burst loss during [at, at + duration)
     kRmFault,    ///< RM-only drop/corruption during [at, at + duration)
+    kRmBlackhole,  ///< backward-RM-only loss during [at, at + duration):
+                   ///< the feedback direction goes dark while data and
+                   ///< forward RM cells keep flowing — the scenario the
+                   ///< source-side Crm/CDF/ADTF decay exists for
     kRestart,    ///< wipe the port controller's learned state at `at`
     kLeave,      ///< deactivate an ABR session at `at`
     kJoin,       ///< (re)activate an ABR session at `at`
@@ -76,9 +80,15 @@ struct FaultEvent {
   double p_bad_good = 0.0;
   double loss_bad = 0.0;
 
-  // RM-targeted fault parameters (kRmFault).
+  // RM-targeted fault parameters (kRmFault; kRmBlackhole uses rm_loss
+  // for its backward-direction drop probability).
   double rm_loss = 0.0;
   double rm_corrupt = 0.0;
+
+  /// kRestart only: warm restarts rebuild the controller's estimate
+  /// from the first window of observed RM traffic (PortController::
+  /// warm_restart) instead of cold-booting at the initial constant.
+  bool warm = false;
 
   // Misbehaving-source parameters (kMisbehave).
   MisbehaveMode mode = MisbehaveMode::kGreedy;
@@ -121,7 +131,13 @@ struct FaultPlan {
                    double p_good_bad, double p_bad_good, double loss_bad);
   FaultPlan& rm_fault(FaultTarget t, sim::Time at, sim::Time duration,
                       double drop_probability, double corrupt_probability);
-  FaultPlan& restart(FaultTarget t, sim::Time at);
+  /// Directional feedback loss: backward RM cells returning through `t`
+  /// are dropped with `drop_probability` (default: all of them) during
+  /// the window; the forward direction is untouched. Recovery is paired
+  /// into the event — the window end restores the link.
+  FaultPlan& rm_blackhole(FaultTarget t, sim::Time at, sim::Time duration,
+                          double drop_probability = 1.0);
+  FaultPlan& restart(FaultTarget t, sim::Time at, bool warm = false);
   FaultPlan& leave(std::size_t session_index, sim::Time at);
   FaultPlan& join(std::size_t session_index, sim::Time at);
   /// Session defects at `at`. `compliance` is only meaningful (and only
@@ -150,7 +166,8 @@ struct FaultPlan {
   ///   flap:<target>:<at_ms>:<cycles>:<down_ms>:<up_ms>
   ///   burst:<target>:<at_ms>:<dur_ms>:<p_good_bad>:<p_bad_good>:<loss_bad>
   ///   rmloss:<target>:<at_ms>:<dur_ms>:<drop_p>[:<corrupt_p>]
-  ///   restart:<target>:<at_ms>
+  ///   rm_blackhole:<target>:<at_ms>:<dur_ms>[:<drop_p>]
+  ///   restart:<target>:<at_ms>[:warm|cold]
   ///   leave:<session>:<at_ms>
   ///   join:<session>:<at_ms>
   ///   misbehave:<session>:<at_ms>:<greedy|forge|partial>[:<compliance>]

@@ -29,6 +29,7 @@ void InvariantMonitor::check_now() {
   check_conservation();
   check_queue_bounds();
   check_rate_bounds();
+  check_stale_rate();
   check_fair_share();
   last_check_ = sim_->now();
 }
@@ -151,6 +152,36 @@ void InvariantMonitor::check_rate_bounds() {
       add("rate-bounds", "session " + std::to_string(s) + ": ACR " +
                              std::to_string(acr) + " b/s outside [0, PCR=" +
                              std::to_string(pcr) + "]");
+    }
+  }
+}
+
+void InvariantMonitor::check_stale_rate() {
+  // Only sources that claim to follow the feedback protocol are held to
+  // the decay envelope: greedy/forging sources ignore feedback by
+  // design (the policer is their countermeasure, not this invariant).
+  // The check runs whether or not feedback_decay is enabled — that is
+  // the point of the ablation: with decay off, a feedback blackhole
+  // leaves ACR parked above the envelope and this invariant names it.
+  for (std::size_t s = 0; s < net_->num_sessions(); ++s) {
+    const atm::AbrSource& src = net_->source(s);
+    const atm::SourceBehavior b = src.behavior();
+    if (b != atm::SourceBehavior::kCompliant &&
+        b != atm::SourceBehavior::kPartial) {
+      continue;
+    }
+    const double envelope = src.stale_rate_envelope().bits_per_sec();
+    const double acr = src.acr().bits_per_sec();
+    // The envelope reproduces the source's stepwise CDF decay with one
+    // pow(), so allow FP ulp drift but nothing that looks like a
+    // skipped decay step.
+    if (acr > envelope * (1.0 + 1e-6)) {
+      std::ostringstream out;
+      out << "session " << s << ": ACR " << acr
+          << " b/s exceeds stale-rate envelope " << envelope << " b/s ("
+          << src.frms_since_brm() << " FRMs since last BRM, crm="
+          << src.params().crm << ")";
+      add("stale-rate", out.str());
     }
   }
 }

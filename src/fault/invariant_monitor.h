@@ -35,6 +35,14 @@ struct InvariantViolation {
 ///    and non-negative, and every source's ACR stays in [0, PCR]
 ///    (sources clamp ER into [MCR, PCR], so a violation here means
 ///    corrupted feedback escaped the clamps);
+///  * no stale-rate transmission — once a compliant source's feedback
+///    is Crm forward-RM cells overdue, its ACR must sit inside the
+///    TM-4.0 decay envelope (last granted ER cut by CDF per overdue
+///    FRM, ICR after the ADTF deadline; see
+///    AbrSource::stale_rate_envelope). A violation means a source kept
+///    transmitting at a rate the network never recently granted — the
+///    failure mode the feedback-loss backoff exists to prevent, and
+///    exactly what the --no-feedback-decay ablation exhibits;
 ///  * time monotonicity — the simulation clock never runs backwards
 ///    between checks.
 ///
@@ -89,6 +97,7 @@ class InvariantMonitor {
   void check_conservation();
   void check_queue_bounds();
   void check_rate_bounds();
+  void check_stale_rate();
   void check_time_monotonic();
   void check_fair_share();
   void add(const char* invariant, std::string detail);

@@ -101,4 +101,32 @@ double mean_in_window(std::span<const sim::Sample> samples, sim::Time from,
   return covered > 0.0 ? weighted / covered : 0.0;
 }
 
+std::vector<sim::Sample> smooth_series(std::span<const sim::Sample> samples,
+                                       sim::Time width) {
+  std::vector<sim::Sample> out;
+  if (samples.empty() || width <= sim::Time::zero()) return out;
+  const sim::Time from = samples.front().time;
+  const sim::Time to = samples.back().time;
+  for (sim::Time t = from; t < to; t += width) {
+    const sim::Time end = t + width < to ? t + width : to;
+    out.push_back(sim::Sample{end, mean_in_window(samples, t, end)});
+  }
+  return out;
+}
+
+RecoverySummary summarize_recovery(std::span<const sim::Sample> samples,
+                                   sim::Time from, double target,
+                                   double rel_tol, sim::Time hold,
+                                   sim::Time settle_tail) {
+  RecoverySummary out;
+  out.reconverge = time_to_reconverge(samples, from, target, rel_tol, hold);
+  if (samples.empty()) return out;
+  const sim::Time last = samples.back().time;
+  out.peak = peak_in_window(samples, from, last);
+  const sim::Time tail_start =
+      last - settle_tail > from ? last - settle_tail : from;
+  out.settled_mean = mean_in_window(samples, tail_start, last);
+  return out;
+}
+
 }  // namespace phantom::stats

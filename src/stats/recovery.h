@@ -9,6 +9,7 @@
 
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "sim/time.h"
 #include "sim/trace.h"
@@ -39,5 +40,38 @@ namespace phantom::stats {
 /// establish the pre-fault operating point a controller must return to.
 [[nodiscard]] double mean_in_window(std::span<const sim::Sample> samples,
                                     sim::Time from, sim::Time to);
+
+/// The three resilience numbers for one trace in one call — the shape
+/// every recovery comparison (cold vs warm restart, decay on vs off)
+/// tabulates per configuration.
+struct RecoverySummary {
+  /// time_to_reconverge(samples, from, target, ...): latency from the
+  /// fault to provably-stable re-entry into the target band.
+  std::optional<sim::Time> reconverge;
+  /// peak_in_window(samples, from, last sample): worst transient after
+  /// the fault.
+  double peak = 0.0;
+  /// mean_in_window over the trailing `settle_tail` of the trace: where
+  /// the loop actually settled (compare against `target`).
+  double settled_mean = 0.0;
+};
+
+/// Resamples a step-interpolated trace into `width`-wide buckets, each
+/// carrying the bucket's time-weighted mean and stamped at the bucket's
+/// end. Estimators that are noisy by *design* (APRC's congestion signal
+/// flip-flops every growth interval) recover in the mean while their
+/// instantaneous value never holds a reconvergence band — smooth first,
+/// then ask time_to_reconverge. Empty input or non-positive width
+/// yields an empty series.
+[[nodiscard]] std::vector<sim::Sample> smooth_series(
+    std::span<const sim::Sample> samples, sim::Time width);
+
+/// Bundles the three metrics over the post-fault tail of a trace.
+/// `from` is the fault (or recovery) instant; the settled mean is taken
+/// over the final `settle_tail` of the recorded samples.
+[[nodiscard]] RecoverySummary summarize_recovery(
+    std::span<const sim::Sample> samples, sim::Time from, double target,
+    double rel_tol = 0.1, sim::Time hold = sim::Time::ms(5),
+    sim::Time settle_tail = sim::Time::ms(20));
 
 }  // namespace phantom::stats

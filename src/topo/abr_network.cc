@@ -225,6 +225,24 @@ void AbrNetwork::enable_policing(atm::PolicerConfig config) {
   }
 }
 
+void AbrNetwork::enable_reaping(atm::ReaperConfig config) {
+  for (const auto& sw : switches_) sw->enable_reaping(config);
+}
+
+void AbrNetwork::teardown_session_state(SessionId s) {
+  const Session& session = sessions_.at(s);
+  node(session.ingress).evict_vc(session.vc);
+  for (const TrunkId t : session.path) {
+    node(trunks_.at(t).to).evict_vc(session.vc);
+  }
+}
+
+std::uint64_t AbrNetwork::vcs_reaped() const {
+  std::uint64_t reaped = 0;
+  for (const auto& sw : switches_) reaped += sw->vcs_reaped();
+  return reaped;
+}
+
 std::uint64_t AbrNetwork::policer_dropped_cells() const {
   std::uint64_t dropped = 0;
   for (const auto& sw : switches_) {

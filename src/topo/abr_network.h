@@ -148,6 +148,17 @@ class AbrNetwork {
 
   /// Attaches a UPC policer (shared config) at every switch's ingress.
   void enable_policing(atm::PolicerConfig config);
+  /// Starts the stale-VC reaper (shared config) on every switch: silent
+  /// VCs are declared dead, their policer state evicted, and their
+  /// share released to the controllers via vc_expired().
+  void enable_reaping(atm::ReaperConfig config = {});
+  /// Explicit teardown of session `s`'s dynamic per-VC state on every
+  /// switch along its path (the caller knows the session is gone; no
+  /// need to wait for the silence timeout). The route itself stays.
+  void teardown_session_state(SessionId s);
+  /// VCs evicted so far (reaper sweeps + explicit teardowns), summed
+  /// over all switches. One session crossing k switches counts k times.
+  [[nodiscard]] std::uint64_t vcs_reaped() const;
   /// Cells discarded at switch ingress by drop-mode policing, summed
   /// over all switches. These never reached a port queue, so they form
   /// their own term in the cell-conservation ledger.

@@ -1,0 +1,146 @@
+// Stale-VC reclamation: policer state eviction (the VC-reuse bugfix),
+// the switch's periodic reaper, and the share released back to
+// controllers that keep per-VC state.
+#include <gtest/gtest.h>
+
+#include "atm/policer.h"
+#include "exp/factories.h"
+#include "sim/simulator.h"
+#include "topo/abr_network.h"
+
+namespace phantom {
+namespace {
+
+using sim::Rate;
+using sim::Simulator;
+using sim::Time;
+using topo::AbrNetwork;
+
+TEST(PolicerEvictionTest, ReusedVcStartsWithAFreshContract) {
+  // The bug this PR fixes: per-VC GCRA state was never evicted, so a VC
+  // id reused by a new session inherited the dead session's TAT debt
+  // and violation history. Drive VC 7 to GCRA saturation, evict, and
+  // the "new" VC 7 must start conforming with a clean record.
+  atm::PolicerConfig config;
+  config.action = atm::PolicingAction::kDrop;
+  config.tolerance = Time::ms(1);
+  atm::Policer policer{config};
+  const Rate share = Rate::mbps(10);
+
+  // 200 back-to-back cells at t=0: the first ~τ/increment conform
+  // (pushing TAT out to t + τ), the rest are violations.
+  for (int i = 0; i < 200; ++i) {
+    (void)policer.check(atm::Cell::data(7), share, Time::zero());
+  }
+  ASSERT_GT(policer.vc_stats(7).nonconforming, 0u);
+  EXPECT_EQ(policer.tracked_vcs(), 1u);
+
+  // Without eviction, a reused VC 7 is judged against the inherited
+  // saturated TAT: still dropping.
+  EXPECT_EQ(policer.check(atm::Cell::data(7), share, Time::zero()),
+            atm::Policer::Verdict::kDrop);
+
+  EXPECT_TRUE(policer.evict_vc(7));
+  EXPECT_EQ(policer.tracked_vcs(), 0u);
+  EXPECT_EQ(policer.vcs_evicted(), 1u);
+  EXPECT_FALSE(policer.evict_vc(7));  // nothing left to evict
+
+  // Fresh contract at the same instant: first cell conforms, and the
+  // dead session's violations no longer pollute the detection signal.
+  EXPECT_EQ(policer.check(atm::Cell::data(7), share, Time::zero()),
+            atm::Policer::Verdict::kPass);
+  EXPECT_EQ(policer.vc_stats(7).conforming, 1u);
+  EXPECT_EQ(policer.vc_stats(7).nonconforming, 0u);
+  EXPECT_EQ(policer.violation_rate(7), 0.0);
+}
+
+TEST(PolicerEvictionTest, EvictionKeepsAggregateTotals) {
+  atm::Policer policer;
+  for (int i = 0; i < 50; ++i) {
+    (void)policer.check(atm::Cell::data(3), Rate::mbps(100), Time::ms(i));
+  }
+  const auto checked = policer.cells_checked();
+  ASSERT_GT(checked, 0u);
+  EXPECT_TRUE(policer.evict_vc(3));
+  EXPECT_EQ(policer.cells_checked(), checked);
+}
+
+TEST(ReaperTest, SilentVcIsReapedAndShareReleased) {
+  // Two ERICA sessions; one falls silent at 300 ms. ERICA keeps a
+  // per-VC table, so the released share is directly observable: the
+  // survivor's fair share doubles once the dead VC is gone. The reaper
+  // must also evict the policer state (vcs_reaped counts both).
+  Simulator sim{1};
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kErica)};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw, {});
+  net.add_session(sw, {}, dest);
+  net.add_session(sw, {}, dest);
+  net.enable_policing({});
+  atm::ReaperConfig reaper;
+  reaper.timeout = Time::ms(100);
+  reaper.period = Time::ms(25);
+  net.enable_reaping(reaper);
+
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(300));
+  EXPECT_EQ(net.vcs_reaped(), 0u);  // both sessions active: no reaping
+  const double shared = net.dest_port(dest).controller().fair_share()
+                            .mbits_per_sec();
+
+  ASSERT_EQ(net.node(sw).policer()->tracked_vcs(), 2u);
+
+  net.source(1).set_active(false);
+  sim.run_until(Time::ms(600));
+  EXPECT_GT(net.vcs_reaped(), 0u);
+  EXPECT_EQ(net.node(sw).policer()->tracked_vcs(), 1u);
+  const double alone = net.dest_port(dest).controller().fair_share()
+                           .mbits_per_sec();
+  // target/1 instead of target/2.
+  EXPECT_NEAR(alone, 2.0 * shared, 0.2 * alone);
+}
+
+TEST(ReaperTest, ExplicitTeardownEvictsWithoutWaitingForTimeout) {
+  Simulator sim{1};
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw, {});
+  net.add_session(sw, {}, dest);
+  const auto leaver = net.add_session(sw, {}, dest);
+  net.enable_policing({});
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(200));
+  ASSERT_EQ(net.node(sw).policer()->tracked_vcs(), 2u);
+
+  net.source(leaver).set_active(false);
+  net.teardown_session_state(leaver);
+  EXPECT_EQ(net.vcs_reaped(), 1u);
+  EXPECT_EQ(net.node(sw).policer()->tracked_vcs(), 1u);
+
+  // The torn-down VC's GCRA slate is clean if the id is ever reused.
+  EXPECT_EQ(net.node(sw).policer()->vc_stats(net.session_vc(leaver))
+                .nonconforming,
+            0u);
+}
+
+TEST(ReaperTest, BeatenDownSessionSurvivesTheReaper) {
+  // "Silent" must mean dead, not slow: a compliant session throttled to
+  // a tiny share still turns RM cells well inside the timeout (Trm
+  // bounds its FRM spacing by 100 ms), so a sane reaper config never
+  // reaps a live session.
+  Simulator sim{1};
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw, {});
+  for (int i = 0; i < 8; ++i) net.add_session(sw, {}, dest);
+  atm::ReaperConfig reaper;
+  reaper.timeout = Time::ms(150);  // > Trm: a live session always beats it
+  reaper.period = Time::ms(25);
+  net.enable_reaping(reaper);
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(800));
+  EXPECT_EQ(net.vcs_reaped(), 0u);
+}
+
+}  // namespace
+}  // namespace phantom

@@ -89,5 +89,58 @@ TEST(MeanInWindowTest, DegenerateWindowsAreZero) {
   EXPECT_DOUBLE_EQ(mean_in_window({}, Time::ms(0), Time::ms(10)), 0.0);
 }
 
+TEST(SmoothSeriesTest, BucketsCarryTimeWeightedMeansStampedAtBucketEnd) {
+  // 10 for [0,5), 30 for [5,20): bucket [0,10) means 20, stamped at 10.
+  const auto t = trace({{0, 10}, {5, 30}, {20, 30}});
+  const auto s = smooth_series(t, Time::ms(10));
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].time, Time::ms(10));
+  EXPECT_DOUBLE_EQ(s[0].value, 20.0);
+  EXPECT_EQ(s[1].time, Time::ms(20));
+  EXPECT_DOUBLE_EQ(s[1].value, 30.0);
+}
+
+TEST(SmoothSeriesTest, SuppressesAnOscillationAroundItsMean) {
+  // A square wave flipping 80/120 every 5 ms never holds a 10% band,
+  // but its 10 ms-bucket means sit exactly on 100 — the reason the
+  // reconvergence oracle smooths noisy-by-design estimators (APRC).
+  std::vector<Sample> wave;  // ends on a bucket boundary (t = 100)
+  for (int i = 0; i <= 20; ++i) {
+    wave.push_back({Time::ms(5 * i), i % 2 == 0 ? 80.0 : 120.0});
+  }
+  EXPECT_FALSE(
+      time_to_reconverge(wave, Time::ms(0), 100.0, 0.1, Time::ms(5)));
+  const auto s = smooth_series(wave, Time::ms(10));
+  const auto r = time_to_reconverge(s, Time::ms(0), 100.0, 0.1, Time::ms(5));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, Time::ms(10));  // the first bucket stamp
+}
+
+TEST(SmoothSeriesTest, DegenerateInputsAreEmpty) {
+  EXPECT_TRUE(smooth_series({}, Time::ms(10)).empty());
+  const auto t = trace({{0, 10}, {20, 30}});
+  EXPECT_TRUE(smooth_series(t, Time::zero()).empty());
+}
+
+TEST(SummarizeRecoveryTest, ReportsAllThreeNumbersInOneCall) {
+  // Steady 100, crash to 20 at 50 ms, recover at 80 ms, settle at 100.
+  const auto t = trace(
+      {{0, 100}, {50, 20}, {80, 95}, {120, 100}, {180, 140}, {185, 100},
+       {250, 100}});
+  const auto s = summarize_recovery(t, Time::ms(50), 100.0, 0.1, Time::ms(5),
+                                    Time::ms(40));
+  ASSERT_TRUE(s.reconverge.has_value());
+  EXPECT_EQ(*s.reconverge, Time::ms(135));  // the 185 ms final re-entry
+  EXPECT_DOUBLE_EQ(s.peak, 140.0);
+  EXPECT_DOUBLE_EQ(s.settled_mean, 100.0);  // tail [210, 250]
+}
+
+TEST(SummarizeRecoveryTest, EmptyTraceIsInert) {
+  const auto s = summarize_recovery({}, Time::ms(50), 100.0);
+  EXPECT_FALSE(s.reconverge.has_value());
+  EXPECT_DOUBLE_EQ(s.peak, 0.0);
+  EXPECT_DOUBLE_EQ(s.settled_mean, 0.0);
+}
+
 }  // namespace
 }  // namespace phantom::stats

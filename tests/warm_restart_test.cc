@@ -1,0 +1,125 @@
+// Warm controller restart: the audited path that reseeds a restarted
+// controller's rate estimate from the first window of observed RM
+// traffic instead of cold-booting at the initial constant.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "atm/port_controller.h"
+#include "exp/factories.h"
+#include "fault/fault_injector.h"
+#include "sim/simulator.h"
+#include "topo/abr_network.h"
+
+namespace phantom {
+namespace {
+
+using sim::Rate;
+using sim::Simulator;
+using sim::Time;
+using topo::AbrNetwork;
+
+TEST(WarmStartWindowTest, ClosesWithTheMeanObservedCcr) {
+  atm::WarmStartWindow w;
+  EXPECT_FALSE(w.open());
+  w.begin();
+  EXPECT_TRUE(w.open());
+  EXPECT_FALSE(w.ripe());  // no samples yet: a tick must not close it
+  EXPECT_FALSE(w.sample(30e6));
+  EXPECT_TRUE(w.ripe());
+  EXPECT_FALSE(w.sample(50e6));
+  const auto seed = w.close();
+  ASSERT_TRUE(seed.has_value());
+  EXPECT_DOUBLE_EQ(*seed, 40e6);
+  EXPECT_FALSE(w.open());
+  EXPECT_EQ(w.audit().warm_restarts, 1u);
+  EXPECT_EQ(w.audit().ccr_samples, 2u);
+}
+
+TEST(WarmStartWindowTest, EmptyWindowClosesToNothing) {
+  // No RM traffic at all during the window: the controller stays on its
+  // cold boot value (close() reports that honestly).
+  atm::WarmStartWindow w;
+  w.begin();
+  EXPECT_FALSE(w.close().has_value());
+}
+
+TEST(WarmStartWindowTest, FillingTheWindowRequestsImmediateClose) {
+  atm::WarmStartWindow w;
+  w.begin();
+  for (std::uint64_t i = 0; i + 1 < atm::WarmStartWindow::kMaxSamples; ++i) {
+    EXPECT_FALSE(w.sample(10e6));
+  }
+  EXPECT_TRUE(w.sample(10e6));  // sample kMaxSamples: close now
+  EXPECT_TRUE(w.close().has_value());
+  // Samples after the close are ignored (the window is shut).
+  EXPECT_FALSE(w.sample(99e6));
+}
+
+class WarmRestartTest : public testing::TestWithParam<exp::Algorithm> {};
+
+TEST_P(WarmRestartTest, ReseedsFromObservedTrafficAndAudits) {
+  // Let the network settle, warm-restart the bottleneck controller via
+  // the fault plan, and check the audit: exactly one warm restart, a
+  // non-empty sample window, and a seed near the rate sources were
+  // demonstrably sending at (the fair share, not the boot constant).
+  Simulator sim{1};
+  AbrNetwork net{sim, exp::make_factory(GetParam())};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw, {});
+  for (int i = 0; i < 4; ++i) net.add_session(sw, {}, dest);
+
+  fault::FaultInjector injector{sim, net};
+  injector.apply(
+      fault::FaultPlan{}.restart(fault::dest(0), Time::ms(400), /*warm=*/true));
+
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(390));
+  const double before =
+      net.dest_port(dest).controller().fair_share().mbits_per_sec();
+  sim.run_until(Time::ms(600));
+
+  const auto* audit = net.dest_port(dest).controller().warm_audit();
+  ASSERT_NE(audit, nullptr)
+      << exp::to_string(GetParam()) << " has no warm-start audit";
+  EXPECT_EQ(audit->warm_restarts, 1u);
+  EXPECT_FALSE(audit->window_open);  // long closed by 600 ms
+  EXPECT_GT(audit->ccr_samples, 0u);
+  // Sources track the advertised share, so their CCRs — and hence the
+  // seed — sit near the pre-restart operating point. Wide tolerance:
+  // the window catches sources mid-additive-increase.
+  EXPECT_GT(audit->seeded_bps, 0.0);
+  EXPECT_NEAR(audit->seeded_bps * 1e-6, before, 0.75 * before);
+}
+
+TEST_P(WarmRestartTest, ColdRestartNeverOpensTheWindow) {
+  Simulator sim{1};
+  AbrNetwork net{sim, exp::make_factory(GetParam())};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw, {});
+  for (int i = 0; i < 4; ++i) net.add_session(sw, {}, dest);
+  fault::FaultInjector injector{sim, net};
+  injector.apply(fault::FaultPlan{}.restart(fault::dest(0), Time::ms(400),
+                                            /*warm=*/false));
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(600));
+  if (const auto* audit = net.dest_port(dest).controller().warm_audit()) {
+    EXPECT_EQ(audit->warm_restarts, 0u);
+    EXPECT_EQ(audit->seeded_bps, 0.0);
+  }
+}
+
+std::string warm_name(const testing::TestParamInfo<exp::Algorithm>& info) {
+  return exp::to_string(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, WarmRestartTest,
+                         testing::Values(exp::Algorithm::kPhantom,
+                                         exp::Algorithm::kEprca,
+                                         exp::Algorithm::kAprc,
+                                         exp::Algorithm::kCapc,
+                                         exp::Algorithm::kErica),
+                         warm_name);
+
+}  // namespace
+}  // namespace phantom
