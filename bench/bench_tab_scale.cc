@@ -7,6 +7,15 @@
 // granularity exceeds the fair share around n ~ 30, and either AIR or
 // the relative MACR floor must be scaled — the trade-off DESIGN.md §3
 // documents.
+//
+// `--json=PATH` additionally records the kernel-level cost of the whole
+// sweep (events executed, wall-clock, events/sec) in the schema the
+// perf-smoke CI job reads — the macro counterpart to bench_micro's
+// per-primitive numbers.
+#include <chrono>
+#include <cstring>
+#include <string>
+
 #include "bench_util.h"
 
 using namespace phantom;
@@ -19,6 +28,7 @@ namespace {
 struct Row {
   double total = 0, jain = 0;
   std::size_t max_queue = 0;
+  std::uint64_t events = 0;
 };
 
 Row run(int n, sim::Rate air, double floor_fraction) {
@@ -41,29 +51,43 @@ Row run(int n, sim::Rate air, double floor_fraction) {
   for (const double r : rates) out.total += r;
   out.jain = stats::jain_index(rates);
   out.max_queue = net.dest_port(dest).max_queue_length();
+  out.events = sim.events_executed();
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
   exp::print_header("Scaling", "n sessions on one 150 Mb/s Phantom port");
   exp::Table t{{"n", "params", "total goodput", "ideal n/(n+1)*u*C", "Jain",
                 "max queue"}};
+  std::uint64_t events = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
   for (const int n : {2, 5, 10, 20, 30, 50}) {
     const double ideal = 0.95 * 150 * n / (n + 1);
     const Row defaults = run(n, Rate::mbps(4.25), 0.01);
+    events += defaults.events;
     t.add_row({std::to_string(n), "defaults", exp::Table::num(defaults.total),
                exp::Table::num(ideal), exp::Table::num(defaults.jain, 3),
                std::to_string(defaults.max_queue)});
     if (n >= 30) {
       const Row scaled = run(n, Rate::mbps(0.5), 0.02);
+      events += scaled.events;
       t.add_row({std::to_string(n), "AIR=0.5, floor=2%",
                  exp::Table::num(scaled.total), exp::Table::num(ideal),
                  exp::Table::num(scaled.jain, 3),
                  std::to_string(scaled.max_queue)});
     }
   }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   t.print();
   std::printf(
       "\nexpected: near-ideal totals through n ~ 20 with defaults; at\n"
@@ -71,5 +95,24 @@ int main() {
       "and the system limit-cycles — rescaling AIR / the MACR floor\n"
       "restores the n/(n+1) law. Per-port state is identical in every\n"
       "row (two doubles + a counter).\n");
+  std::printf("\nkernel: %llu events in %.3f s wall (%.3g events/sec)\n",
+              static_cast<unsigned long long>(events), wall_s,
+              static_cast<double>(events) / wall_s);
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_tab_scale: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"schema\": \"phantom-bench-tab-scale-v1\",\n"
+                 "  \"events\": %llu,\n  \"wall_s\": %.6g,\n"
+                 "  \"events_per_sec\": %.6g\n}\n",
+                 static_cast<unsigned long long>(events), wall_s,
+                 static_cast<double>(events) / wall_s);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Kernel perf gate: compare a fresh bench_micro run against the
+checked-in baseline (BENCH_kernel.json) and fail on regression.
+
+Usage:
+    bench_micro --benchmark_min_time=0.05 --json-out=current.json
+    python3 bench/check_perf.py --baseline BENCH_kernel.json \
+        --current current.json [--tolerance-pct 25] [--update]
+
+The gate compares items_per_sec per benchmark; a benchmark more than
+--tolerance-pct slower than its baseline fails the check. Benchmarks
+present on only one side are reported but never fail the gate (so
+adding a benchmark doesn't require touching the baseline in the same
+commit). --update rewrites the baseline's measurements from the current
+run (preserving everything else in the file) instead of checking.
+
+The default tolerance is deliberately loose (25%): shared CI runners
+jitter by 10-15% run to run, and this gate exists to catch structural
+regressions — an accidental O(n) scan in the hot path, a reintroduced
+per-event allocation — not single-digit drift. If the gate fires on a
+commit that plausibly changed kernel-adjacent code, believe it. If the
+hardware baseline itself moved (new runner generation), refresh with
+--update in a dedicated commit and say so in the message.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="checked-in BENCH_kernel.json")
+    ap.add_argument("--current", required=True,
+                    help="fresh phantom-bench-micro-v1 JSON")
+    ap.add_argument("--tolerance-pct", type=float, default=None,
+                    help="allowed slowdown in percent "
+                         "(default: the baseline file's tolerance_pct)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline's measurements from "
+                         "--current instead of checking")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if current.get("schema") != "phantom-bench-micro-v1":
+        sys.exit(f"unexpected schema in {args.current}: "
+                 f"{current.get('schema')!r}")
+    current_marks = current["benchmarks"]
+
+    if args.update:
+        baseline["benchmarks"] = {
+            name: round(row["items_per_sec"], 1)
+            for name, row in sorted(current_marks.items())
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"updated {args.baseline} from {args.current}")
+        return
+
+    tolerance = (args.tolerance_pct if args.tolerance_pct is not None
+                 else baseline.get("tolerance_pct", 25.0))
+    failures = []
+    for name, base_ips in sorted(baseline["benchmarks"].items()):
+        row = current_marks.get(name)
+        if row is None:
+            print(f"  ?  {name}: in baseline but not in current run")
+            continue
+        ips = row["items_per_sec"]
+        delta_pct = 100.0 * (ips - base_ips) / base_ips
+        verdict = "ok"
+        if delta_pct < -tolerance:
+            verdict = "REGRESSION"
+            failures.append(name)
+        mark = "!!" if verdict != "ok" else "ok"
+        print(f"  {mark} {name}: {ips:.3e} items/s vs baseline "
+              f"{base_ips:.3e} ({delta_pct:+.1f}%)"
+              f"{' ' + verdict if verdict != 'ok' else ''}")
+    for name in sorted(set(current_marks) - set(baseline["benchmarks"])):
+        print(f"  +  {name}: new benchmark, not in baseline")
+
+    if failures:
+        sys.exit(f"perf gate FAILED: {', '.join(failures)} regressed "
+                 f"more than {tolerance:.0f}% vs {args.baseline}")
+    print(f"perf gate passed (tolerance {tolerance:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

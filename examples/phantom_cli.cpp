@@ -9,6 +9,7 @@
 //               [--adversaries=N] [--adversary-mode=greedy|forge|partial]
 //               [--compliance=C] [--policing=off|monitor|tag|drop]
 //               [--crm=N] [--cdf=F] [--adtf=MS] [--no-feedback-decay]
+//               [--perf-report]
 //
 // Runs the scenario, prints the per-session goodput table, fairness
 // index and queue statistics, and (with --csv) writes the fair-share
@@ -40,7 +41,14 @@
 // backoff entirely — the ablation that shows why it exists. All four
 // are accepted by --validate-only (a replayed chaos plan carries the
 // same source configuration).
+//
+// --perf-report appends kernel statistics after the scenario report:
+// events executed, wall-clock, events/sec, the peak pending-event count
+// (the event heap's high-water mark) and the inline-callback heap-
+// fallback count — nonzero means some model's capture outgrew the
+// kernel's inline buffer (see sim/inline_function.h).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -89,6 +97,35 @@ struct Args {
   double cdf = 0.5;                  // cutoff decrease factor per FRM
   double adtf_ms = 250.0;            // stale-ACR deadline
   bool feedback_decay = true;        // --no-feedback-decay ablation
+  bool perf_report = false;          // kernel statistics after the run
+};
+
+/// Kernel statistics for --perf-report. Wall-clock covers simulation
+/// execution only (not topology construction or report printing).
+class PerfReporter {
+ public:
+  explicit PerfReporter(const sim::Simulator& sim)
+      : sim_{&sim}, start_{std::chrono::steady_clock::now()} {}
+
+  void print() const {
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const auto executed = sim_->events_executed();
+    std::printf(
+        "\nperf: %llu events in %.3f s wall (%.3g events/sec)\n"
+        "perf: peak pending events %zu, inline-callback heap fallbacks "
+        "%llu\n",
+        static_cast<unsigned long long>(executed), wall_s,
+        static_cast<double>(executed) / wall_s, sim_->peak_pending_count(),
+        static_cast<unsigned long long>(
+            sim::EventQueue::Callback::heap_fallbacks()));
+  }
+
+ private:
+  const sim::Simulator* sim_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Resolves --fault-plan=@PATH to the file's contents. The file is the
@@ -131,6 +168,10 @@ std::optional<Args> parse(int argc, char** argv) {
     }
     if (arg == "--no-feedback-decay") {  // bare flag
       a.feedback_decay = false;
+      continue;
+    }
+    if (arg == "--perf-report") {  // bare flag
+      a.perf_report = true;
       continue;
     }
     const auto eq = arg.find('=');
@@ -386,6 +427,8 @@ int run_abr_scenario(const Args& args, exp::Algorithm alg) {
     driver.emplace(sim, net.source(static_cast<std::size_t>(args.sessions) - 1),
                    opt);
   }
+  std::optional<PerfReporter> perf;
+  if (args.perf_report) perf.emplace(sim);
   net.start_all(Time::zero(), Time::zero());
 
   const std::string detail =
@@ -430,11 +473,14 @@ int run_abr_scenario(const Args& args, exp::Algorithm alg) {
         static_cast<unsigned long long>(tagged),
         static_cast<unsigned long long>(dropped));
   }
+  if (perf) perf->print();
   return 0;
 }
 
 int run_tcp_scenario(const Args& args) {
   sim::Simulator sim{args.seed};
+  std::optional<PerfReporter> perf;
+  if (args.perf_report) perf.emplace(sim);
   tcp::TcpNetwork net{sim};
   const auto r = net.add_router("r0");
   tcp::TcpTrunkOptions opts;
@@ -480,6 +526,7 @@ int run_tcp_scenario(const Args& args) {
               stats::jain_index(rates), net.sink_port(sink).max_queue_length(),
               static_cast<unsigned long long>(
                   net.sink_port(sink).packets_dropped()));
+  if (perf) perf->print();
   return 0;
 }
 

@@ -147,7 +147,8 @@ void AbrSource::on_trm_check() {
   if (active_ && sim_->now() - last_rm_sent_ >= params_.trm) {
     emit_forward_rm();
   }
-  sim_->schedule(params_.trm / 2, [this] { on_trm_check(); });
+  sim_->schedule(params_.trm / 2,
+                 sim::bind_member<&AbrSource::on_trm_check>(this));
 }
 
 void AbrSource::set_active(bool active) {
@@ -203,11 +204,12 @@ void AbrSource::send_next_cell() {
   // Pace off the post-decay rate: a source that just cut its ACR must
   // not ride out the old spacing for one more cell.
   const sim::Rate effective = effective_rate();
-  const std::uint64_t epoch = epoch_;
-  sim_->schedule(effective.transmission_time(kCellBits), [this, epoch] {
+  auto pace = [this, epoch = epoch_] {
     if (epoch != epoch_) return;  // source was deactivated meanwhile
     send_next_cell();
-  });
+  };
+  static_assert(sim::EventQueue::Callback::fits_inline<decltype(pace)>);
+  sim_->schedule(effective.transmission_time(kCellBits), std::move(pace));
 }
 
 void AbrSource::set_demand(sim::Rate demand) {

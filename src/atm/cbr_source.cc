@@ -29,7 +29,8 @@ void CbrSource::send_next() {
   cell.sent_at = sim_->now();
   link_.deliver(cell);
   ++sent_;
-  sim_->schedule(rate_.transmission_time(kCellBits), [this] { send_next(); });
+  sim_->schedule(rate_.transmission_time(kCellBits),
+                 sim::bind_member<&CbrSource::send_next>(this));
 }
 
 }  // namespace phantom::atm

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "atm/cell.h"
 #include "sim/simulator.h"
@@ -114,10 +115,15 @@ class Link {
         corrupt_rm(cell);
       }
     }
-    sim_->schedule(delay_, [state = state_, sink = sink_, cell] {
+    auto arrive = [state = state_, sink = sink_, cell] {
       ++state->delivered;
       sink->receive_cell(cell);
-    });
+    };
+    // The single hottest callback in the library (every cell, every
+    // hop): its 64-byte capture must stay within the kernel's inline
+    // buffer or each delivery would heap-allocate.
+    static_assert(sim::EventQueue::Callback::fits_inline<decltype(arrive)>);
+    sim_->schedule(delay_, std::move(arrive));
   }
 
   [[nodiscard]] sim::Time delay() const { return delay_; }

@@ -52,7 +52,7 @@ void OutputPort::start_transmission() {
   // its serialization must not preempt it.
   serving_ = priority_queue_.empty() ? &queue_ : &priority_queue_;
   sim_->schedule(rate_.transmission_time(kCellBits),
-                 [this] { on_transmission_complete(); });
+                 sim::bind_member<&OutputPort::on_transmission_complete>(this));
 }
 
 void OutputPort::on_transmission_complete() {

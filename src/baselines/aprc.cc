@@ -15,7 +15,8 @@ AprcController::AprcController(sim::Simulator& sim, sim::Rate link_capacity,
   config_.validate();
   assert(link_bps_ > 0.0);
   macr_trace_.record(sim_->now(), macr_);
-  sim_->schedule(config_.growth_interval, [this] { on_growth_tick(); });
+  sim_->schedule(config_.growth_interval,
+                 sim::bind_member<&AprcController::on_growth_tick>(this));
 }
 
 void AprcController::on_cell_accepted(const atm::Cell&, std::size_t queue_len) {
@@ -25,7 +26,8 @@ void AprcController::on_cell_accepted(const atm::Cell&, std::size_t queue_len) {
 void AprcController::on_growth_tick() {
   congested_ = current_queue_len_ > last_queue_len_;
   last_queue_len_ = current_queue_len_;
-  sim_->schedule(config_.growth_interval, [this] { on_growth_tick(); });
+  sim_->schedule(config_.growth_interval,
+                 sim::bind_member<&AprcController::on_growth_tick>(this));
 }
 
 void AprcController::reset() {

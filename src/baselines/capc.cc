@@ -18,7 +18,8 @@ CapcController::CapcController(sim::Simulator& sim, sim::Rate link_capacity,
   config_.validate();
   assert(link_capacity.bits_per_sec() > 0.0);
   ers_trace_.record(sim_->now(), ers_);
-  sim_->schedule(config_.interval, [this] { on_interval(); });
+  sim_->schedule(config_.interval,
+                 sim::bind_member<&CapcController::on_interval>(this));
 }
 
 void CapcController::on_cell_accepted(const atm::Cell&, std::size_t) {
@@ -62,7 +63,8 @@ void CapcController::on_interval() {
   }
   ers_ = std::clamp(ers_, config_.min_ers.bits_per_sec(), target_bps_);
   ers_trace_.record(sim_->now(), ers_);
-  sim_->schedule(config_.interval, [this] { on_interval(); });
+  sim_->schedule(config_.interval,
+                 sim::bind_member<&CapcController::on_interval>(this));
 }
 
 void CapcController::reset() {

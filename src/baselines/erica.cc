@@ -18,7 +18,8 @@ EricaController::EricaController(sim::Simulator& sim, sim::Rate link_capacity,
   config_.validate();
   assert(link_capacity.bits_per_sec() > 0.0);
   trace_.record(sim_->now(), fair_share_);
-  sim_->schedule(config_.interval, [this] { on_interval(); });
+  sim_->schedule(config_.interval,
+                 sim::bind_member<&EricaController::on_interval>(this));
 }
 
 void EricaController::on_cell_accepted(const atm::Cell&, std::size_t) {
@@ -90,7 +91,8 @@ void EricaController::on_interval() {
     fair_share_ = target_bps_ / static_cast<double>(vcs_.size());
   }
   trace_.record(sim_->now(), fair_share_);
-  sim_->schedule(config_.interval, [this] { on_interval(); });
+  sim_->schedule(config_.interval,
+                 sim::bind_member<&EricaController::on_interval>(this));
 }
 
 void EricaController::on_backward_rm(atm::Cell& cell, std::size_t) {

@@ -14,7 +14,8 @@ PhantomController::PhantomController(sim::Simulator& sim,
       filter_{link_capacity, config},
       macr_trace_{"macr"} {
   macr_trace_.record(sim_->now(), filter_.macr().bits_per_sec());
-  sim_->schedule(config_.interval, [this] { on_interval(); });
+  sim_->schedule(config_.interval,
+                 sim::bind_member<&PhantomController::on_interval>(this));
 }
 
 void PhantomController::on_cell_accepted(const atm::Cell&, std::size_t) {
@@ -54,7 +55,8 @@ void PhantomController::on_interval() {
   const sim::Rate macr = filter_.update(offered);
   ++intervals_;
   macr_trace_.record(sim_->now(), macr.bits_per_sec());
-  sim_->schedule(config_.interval, [this] { on_interval(); });
+  sim_->schedule(config_.interval,
+                 sim::bind_member<&PhantomController::on_interval>(this));
 }
 
 void PhantomController::reset() {

@@ -102,6 +102,14 @@ void FaultInjector::record(const std::string& description) {
   log_.push_back(AppliedFault{sim_->now(), description});
 }
 
+void FaultInjector::arm(sim::Time at, std::function<void()> action) {
+  const std::size_t i = armed_.size();
+  armed_.push_back(std::move(action));
+  auto fire = [this, i] { armed_[i](); };
+  static_assert(sim::EventQueue::Callback::fits_inline<decltype(fire)>);
+  sim_->schedule_at(at, fire);
+}
+
 void FaultInjector::check_session_live(std::size_t s, const char* when) const {
   if (s >= net_->num_sessions()) {
     throw std::out_of_range{"fault plan: no such session " +
@@ -116,11 +124,11 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
     case K::kOutage: {
       auto links = links_of(e.target);
       const std::string name = e.target.to_string();
-      sim_->schedule_at(e.at, [this, links, name] {
+      arm(e.at, [this, links, name] {
         for (const auto& st : links) st->down = true;
         record("outage begins on " + name);
       });
-      sim_->schedule_at(e.at + e.duration, [this, links, name] {
+      arm(e.at + e.duration, [this, links, name] {
         for (const auto& st : links) st->down = false;
         record("outage ends on " + name + " (restored)");
       });
@@ -131,12 +139,12 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
       const std::string name = e.target.to_string();
       sim::Time t = e.at;
       for (int c = 0; c < e.cycles; ++c) {
-        sim_->schedule_at(t, [this, links, name, c] {
+        arm(t, [this, links, name, c] {
           for (const auto& st : links) st->down = true;
           record("flap cycle " + std::to_string(c + 1) + ": " + name +
                  " down");
         });
-        sim_->schedule_at(t + e.down_period, [this, links, name, c] {
+        arm(t + e.down_period, [this, links, name, c] {
           for (const auto& st : links) st->down = false;
           record("flap cycle " + std::to_string(c + 1) + ": " + name + " up");
         });
@@ -148,7 +156,7 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
       auto links = links_of(e.target);
       const std::string name = e.target.to_string();
       const double p_gb = e.p_good_bad, p_bg = e.p_bad_good, lb = e.loss_bad;
-      sim_->schedule_at(e.at, [this, links, name, p_gb, p_bg, lb] {
+      arm(e.at, [this, links, name, p_gb, p_bg, lb] {
         for (const auto& st : links) {
           st->burst_enabled = true;
           st->burst_bad = false;  // every burst window starts Good
@@ -159,7 +167,7 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
         }
         record("burst loss begins on " + name);
       });
-      sim_->schedule_at(e.at + e.duration, [this, links, name] {
+      arm(e.at + e.duration, [this, links, name] {
         for (const auto& st : links) st->burst_enabled = false;
         record("burst loss ends on " + name);
       });
@@ -169,14 +177,14 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
       auto links = links_of(e.target);
       const std::string name = e.target.to_string();
       const double drop = e.rm_loss, corrupt = e.rm_corrupt;
-      sim_->schedule_at(e.at, [this, links, name, drop, corrupt] {
+      arm(e.at, [this, links, name, drop, corrupt] {
         for (const auto& st : links) {
           st->rm_loss = drop;
           st->rm_corrupt = corrupt;
         }
         record("RM fault begins on " + name);
       });
-      sim_->schedule_at(e.at + e.duration, [this, links, name] {
+      arm(e.at + e.duration, [this, links, name] {
         for (const auto& st : links) {
           st->rm_loss = 0.0;
           st->rm_corrupt = 0.0;
@@ -189,12 +197,12 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
       auto links = reverse_links_of(e.target);
       const std::string name = e.target.to_string();
       const double drop = e.rm_loss;
-      sim_->schedule_at(e.at, [this, links, name, drop] {
+      arm(e.at, [this, links, name, drop] {
         for (const auto& st : links) st->rm_loss = drop;
         record("feedback blackhole begins on " + name +
                " (backward RM cells dropped)");
       });
-      sim_->schedule_at(e.at + e.duration, [this, links, name] {
+      arm(e.at + e.duration, [this, links, name] {
         for (const auto& st : links) st->rm_loss = 0.0;
         record("feedback blackhole ends on " + name + " (restored)");
       });
@@ -204,7 +212,7 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
       atm::PortController* ctl = &controller_of(e.target);
       const std::string name = e.target.to_string();
       const bool warm = e.warm;
-      sim_->schedule_at(e.at, [this, ctl, name, warm] {
+      arm(e.at, [this, ctl, name, warm] {
         if (warm) {
           ctl->warm_restart();
           record("controller warm restart on " + name + " (" + ctl->name() +
@@ -219,7 +227,7 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
     }
     case K::kLeave: {
       const std::size_t s = e.target.index;
-      sim_->schedule_at(e.at, [this, s] {
+      arm(e.at, [this, s] {
         check_session_live(s, "at activation");
         net_->source(s).set_active(false);
         record("session " + std::to_string(s) + " leaves");
@@ -228,7 +236,7 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
     }
     case K::kJoin: {
       const std::size_t s = e.target.index;
-      sim_->schedule_at(e.at, [this, s] {
+      arm(e.at, [this, s] {
         check_session_live(s, "at activation");
         atm::AbrSource& src = net_->source(s);
         if (src.started()) {
@@ -244,7 +252,7 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
       const std::size_t s = e.target.index;
       const MisbehaveMode mode = e.mode;
       const double compliance = e.compliance;
-      sim_->schedule_at(e.at, [this, s, mode, compliance] {
+      arm(e.at, [this, s, mode, compliance] {
         check_session_live(s, "at activation");
         atm::SourceBehavior behavior = atm::SourceBehavior::kGreedy;
         switch (mode) {
@@ -270,7 +278,7 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
     }
     case K::kComply: {
       const std::size_t s = e.target.index;
-      sim_->schedule_at(e.at, [this, s] {
+      arm(e.at, [this, s] {
         check_session_live(s, "at activation");
         net_->set_session_behavior(s, atm::SourceBehavior::kCompliant);
         record("session " + std::to_string(s) + " returns to compliance");
@@ -280,7 +288,7 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
     case K::kCustom: {
       auto action = e.action;
       const std::string label = e.label.empty() ? "custom" : e.label;
-      sim_->schedule_at(e.at, [this, action = std::move(action), label] {
+      arm(e.at, [this, action = std::move(action), label] {
         action();
         record(label);
       });

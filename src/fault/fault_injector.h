@@ -1,6 +1,7 @@
 // Executes a FaultPlan against a running ABR network.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -84,11 +85,19 @@ class FaultInjector {
   /// Throws std::out_of_range unless session `s` exists right now.
   void check_session_live(std::size_t s, const char* when) const;
   void schedule_event(const FaultEvent& e);
+  /// Stores `action` in `armed_` and schedules a pre-bound {this, index}
+  /// trampoline to fire it at `at`. Fault closures carry link-handle
+  /// vectors and description strings — far beyond the kernel's inline
+  /// capture budget — so parking them here keeps every event the kernel
+  /// ever sees allocation-free (and the heap-fallback perf counter at
+  /// zero) without copying the heavy state per scheduled event.
+  void arm(sim::Time at, std::function<void()> action);
   void record(const std::string& description);
 
   sim::Simulator* sim_;
   topo::AbrNetwork* net_;
   std::vector<AppliedFault> log_;
+  std::vector<std::function<void()>> armed_;  // one entry per transition
 };
 
 }  // namespace phantom::fault

@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -14,46 +15,99 @@ EventId EventQueue::schedule(Time at, Callback cb) {
                            floor_.to_string() + ")"};
   }
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{at, seq});
-  callbacks_.emplace(seq, std::move(cb));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.seq = seq;
+  s.callback = std::move(cb);
+  heap_.push_back(Node{at, seq, slot});
+  sift_up(heap_.size() - 1);
   ++live_count_;
-  return EventId{seq};
+  peak_live_ = std::max(peak_live_, live_count_);
+  return EventId{seq, slot};
 }
 
 void EventQueue::cancel(EventId id) {
   if (!id.valid()) return;
-  const auto it = callbacks_.find(id.seq_);
-  if (it == callbacks_.end()) return;  // already fired or cancelled
-  callbacks_.erase(it);
-  cancelled_.insert(id.seq_);
+  if (id.slot_ >= slots_.size()) return;  // id from another queue
+  Slot& s = slots_[id.slot_];
+  if (s.seq != id.seq_) return;  // already fired or cancelled
+  // Eager release: whatever the callback captured (cells, session
+  // state, shared link handles) dies now, not when the tombstone
+  // eventually surfaces at the heap top.
+  s.callback.reset();
+  free_slot(id.slot_);
   --live_count_;
 }
 
-void EventQueue::drop_cancelled_head() const {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().seq);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+void EventQueue::free_slot(std::uint32_t slot) {
+  slots_[slot].seq = 0;
+  free_slots_.push_back(slot);
+}
+
+void EventQueue::sift_up(std::size_t i) const {
+  const Node node = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(node, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
   }
+  heap_[i] = node;
+}
+
+void EventQueue::sift_down(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  const Node node = heap_[i];
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], node)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = node;
+}
+
+void EventQueue::remove_root() const {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::drop_cancelled_head() const {
+  // Tombstones carry no callback (released at cancel), so discarding
+  // them here is pure heap bookkeeping.
+  while (!heap_.empty() && !is_live(heap_.front())) remove_root();
 }
 
 Time EventQueue::next_time() const {
   drop_cancelled_head();
   assert(!heap_.empty() && "next_time() on empty queue");
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Popped EventQueue::pop() {
   drop_cancelled_head();
   assert(!heap_.empty() && "pop() on empty queue");
-  const Entry top = heap_.top();
-  heap_.pop();
+  const Node top = heap_.front();
+  remove_root();
   floor_ = top.time;
-  auto it = callbacks_.find(top.seq);
-  assert(it != callbacks_.end());
-  Popped out{top.time, std::move(it->second)};
-  callbacks_.erase(it);
+  Slot& s = slots_[top.slot];
+  assert(s.seq == top.seq);
+  Popped out{top.time, std::move(s.callback)};
+  free_slot(top.slot);
   --live_count_;
   return out;
 }

@@ -2,12 +2,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_function.h"
 #include "sim/time.h"
 
 namespace phantom::sim {
@@ -21,8 +18,12 @@ class EventId {
 
  private:
   friend class EventQueue;
-  explicit constexpr EventId(std::uint64_t s) : seq_{s} {}
+  constexpr EventId(std::uint64_t s, std::uint32_t slot)
+      : seq_{s}, slot_{slot} {}
+  // The seq alone identifies the event; the slot makes cancel O(1)
+  // (a direct index into the queue's slot table, validated by seq).
   std::uint64_t seq_ = 0;
+  std::uint32_t slot_ = 0;
 };
 
 /// Min-heap of timestamped callbacks with deterministic FIFO tie-breaking:
@@ -30,12 +31,28 @@ class EventId {
 /// what makes simulations reproducible run-to-run regardless of heap
 /// internals.
 ///
-/// Cancellation is lazy: cancelled ids are remembered and their events are
-/// discarded when they reach the top of the heap, so cancel is O(1) and
-/// pop stays O(log n).
+/// Layout (see DESIGN.md §11): a flat 4-ary min-heap of trivially
+/// copyable {time, seq, slot} nodes over a plain vector of slots that
+/// hold the callbacks. Nothing on the schedule/pop path allocates once
+/// the vectors have reached the run's high-water mark.
+///
+/// Cancellation is O(1) and releases the callback (and everything it
+/// captured) immediately: the slot is invalidated and freed for reuse,
+/// while the heap node remains as a tombstone that is discarded when it
+/// reaches the top. A tombstone is detected generationally — its seq no
+/// longer matches the slot's, whether the slot is free or was reused —
+/// so no per-event hash set of cancelled ids is needed.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Inline capture budget for event callbacks. Sized for the largest
+  /// hot-path capture in the library: a Link delivery closure
+  /// (shared LinkState handle + sink pointer + a 40-byte atm::Cell) or
+  /// a PacketLink closure (sink pointer + 64-byte tcp::Packet), with
+  /// headroom for a wrapped std::function (32 bytes on libstdc++).
+  /// Callbacks beyond the budget still work — they heap-allocate and
+  /// bump InlineFunction's fallback counter.
+  static constexpr std::size_t kInlineCallbackBytes = 96;
+  using Callback = InlineFunction<kInlineCallbackBytes>;
 
   /// Schedules `cb` at absolute time `at`. `at` may equal the time of the
   /// event currently executing (zero-delay events are allowed) but must
@@ -43,12 +60,16 @@ class EventQueue {
   /// std::logic_error in every build type.
   EventId schedule(Time at, Callback cb);
 
-  /// Cancels a pending event. Cancelling an already-fired or already-
+  /// Cancels a pending event, destroying its callback (and captured
+  /// state) immediately. Cancelling an already-fired or already-
   /// cancelled event is a harmless no-op.
   void cancel(EventId id);
 
   [[nodiscard]] bool empty() const { return live_count_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_count_; }
+  /// High-water mark of live (scheduled, not yet fired or cancelled)
+  /// events over this queue's lifetime.
+  [[nodiscard]] std::size_t peak_size() const { return peak_live_; }
 
   /// Time of the earliest live event. Requires !empty().
   [[nodiscard]] Time next_time() const;
@@ -61,28 +82,48 @@ class EventQueue {
   Popped pop();
 
  private:
-  struct Entry {
+  // One heap node per scheduled event (plus tombstones of cancelled
+  // events until they surface). Trivially copyable on purpose: sifting
+  // a 4-ary heap moves nodes, and 24-byte memcpy-able nodes keep that
+  // cheap — the callbacks themselves never move after scheduling.
+  struct Node {
     Time time;
     std::uint64_t seq;
-    // Ordered for a min-heap: later time (or later seq at equal time)
-    // has lower priority.
-    friend bool operator<(const Entry& a, const Entry& b) {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot;
+  };
+  // Callback storage, indexed by Node::slot / EventId::slot_. `seq` is
+  // the generation check: it matches the node's seq while the event is
+  // live, and can never match again after the event fired or was
+  // cancelled (seqs are unique), even once the slot is reused.
+  struct Slot {
+    std::uint64_t seq = 0;  // 0 = free
+    Callback callback;
   };
 
-  void drop_cancelled_head() const;
+  static constexpr std::size_t kArity = 4;
 
-  // `heap_` orders (time, seq); callbacks live in `callbacks_` keyed by
-  // seq so Entry stays trivially copyable.
-  mutable std::priority_queue<Entry> heap_;
-  mutable std::unordered_set<std::uint64_t> cancelled_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  [[nodiscard]] static bool before(const Node& a, const Node& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+  [[nodiscard]] bool is_live(const Node& n) const {
+    return slots_[n.slot].seq == n.seq;
+  }
+  void sift_up(std::size_t i) const;
+  void sift_down(std::size_t i) const;
+  void remove_root() const;
+  void drop_cancelled_head() const;
+  void free_slot(std::uint32_t slot);
+
+  // `mutable`: const observers (next_time) discard tombstones that have
+  // reached the heap top; live events and slots are never touched.
+  mutable std::vector<Node> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 1;
   std::size_t live_count_ = 0;
+  std::size_t peak_live_ = 0;
   Time floor_ = Time::zero();  // time of the last popped event
-
 };
 
 }  // namespace phantom::sim

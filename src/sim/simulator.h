@@ -104,6 +104,11 @@ class Simulator {
 
   [[nodiscard]] bool pending() const { return !queue_.empty(); }
   [[nodiscard]] std::size_t pending_count() const { return queue_.size(); }
+  /// High-water mark of pending events over this simulator's lifetime
+  /// (the kernel's memory footprint; see phantom_cli --perf-report).
+  [[nodiscard]] std::size_t peak_pending_count() const {
+    return queue_.peak_size();
+  }
 
   /// Kernel-owned random stream; models share it so one seed reproduces
   /// an entire run.

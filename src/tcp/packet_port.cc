@@ -42,7 +42,7 @@ void PacketPort::start_transmission() {
   assert(!queue_.empty());
   transmitting_ = true;
   sim_->schedule(rate_.transmission_time(queue_.front().wire_bits()),
-                 [this] { on_transmission_complete(); });
+                 sim::bind_member<&PacketPort::on_transmission_complete>(this));
 }
 
 void PacketPort::on_transmission_complete() {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace phantom::sim {
@@ -128,6 +130,98 @@ TEST(EventQueueTest, ManyInterleavedOperationsStayOrdered) {
     EXPECT_LE(popped[i - 1], popped[i]);
   }
   EXPECT_EQ(popped.size(), 100u - 34u);
+}
+
+// Cancelling must destroy the captured state *now*, not when the
+// tombstone eventually reaches the heap top. A chaos run cancels
+// timers whose closures pin shared_ptrs to whole subsystems; holding
+// them until pop time would stretch lifetimes unpredictably.
+TEST(EventQueueTest, CancelReleasesCapturedStateEagerly) {
+  EventQueue q;
+  auto sentinel = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = sentinel;
+  const EventId id = q.schedule(Time::ms(10), [s = std::move(sentinel)] {
+    (void)s;
+  });
+  // Keep an earlier event in front so the cancelled one never becomes
+  // the heap top before we check.
+  q.schedule(Time::ms(1), [] {});
+  EXPECT_FALSE(watch.expired());
+  q.cancel(id);
+  EXPECT_TRUE(watch.expired()) << "capture must be destroyed at cancel time";
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, PoppedCallbackStateReleasedAfterInvocation) {
+  EventQueue q;
+  auto sentinel = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = sentinel;
+  q.schedule(Time::ms(1), [s = std::move(sentinel)] { (void)s; });
+  {
+    auto popped = q.pop();
+    popped.callback();
+    EXPECT_FALSE(watch.expired());  // the popped holder still owns it
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+// A stale EventId whose slot has been recycled by a newer event must
+// not cancel the newcomer (the generation check).
+TEST(EventQueueTest, StaleIdCannotCancelRecycledSlot) {
+  EventQueue q;
+  const EventId old_id = q.schedule(Time::ms(1), [] {});
+  q.cancel(old_id);
+  // The freed slot is reused by the very next schedule.
+  bool fired = false;
+  q.schedule(Time::ms(2), [&] { fired = true; });
+  q.cancel(old_id);  // stale: same slot, different generation
+  ASSERT_EQ(q.size(), 1u);
+  q.pop().callback();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, StaleIdSurvivesManyRecycles) {
+  EventQueue q;
+  std::vector<EventId> stale;
+  for (int round = 0; round < 50; ++round) {
+    const EventId id = q.schedule(Time::ms(1), [] {});
+    for (const EventId& s : stale) q.cancel(s);  // all must be no-ops
+    EXPECT_EQ(q.size(), 1u);
+    q.cancel(id);
+    stale.push_back(id);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, PeakSizeTracksHighWaterMark) {
+  EventQueue q;
+  EXPECT_EQ(q.peak_size(), 0u);
+  const EventId a = q.schedule(Time::ms(1), [] {});
+  q.schedule(Time::ms(2), [] {});
+  q.schedule(Time::ms(3), [] {});
+  EXPECT_EQ(q.peak_size(), 3u);
+  q.cancel(a);
+  q.pop();
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.peak_size(), 3u);  // the peak never decays
+  q.schedule(Time::ms(4), [] {});
+  q.schedule(Time::ms(5), [] {});
+  q.schedule(Time::ms(6), [] {});
+  EXPECT_EQ(q.peak_size(), 4u);
+}
+
+// Zero-delay self-rescheduling at one timestamp must still interleave
+// FIFO with other same-time events.
+TEST(EventQueueTest, SameTimeRescheduleRunsAfterAlreadyQueuedPeers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Time::ms(1), [&] {
+    order.push_back(0);
+    q.schedule(Time::ms(1), [&] { order.push_back(2); });
+  });
+  q.schedule(Time::ms(1), [&] { order.push_back(1); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
 }  // namespace
