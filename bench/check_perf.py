@@ -8,11 +8,14 @@ Usage:
         --current current.json [--tolerance-pct 25] [--update]
 
 The gate compares items_per_sec per benchmark; a benchmark more than
---tolerance-pct slower than its baseline fails the check. Benchmarks
-present on only one side are reported but never fail the gate (so
-adding a benchmark doesn't require touching the baseline in the same
-commit). --update rewrites the baseline's measurements from the current
-run (preserving everything else in the file) instead of checking.
+--tolerance-pct slower than its baseline fails the check. A benchmark
+in the current run with no key in the baseline also fails the gate —
+an unbaselined benchmark is a comparison that silently never happens,
+so adding one means refreshing the baseline (--update) in the same
+commit. A baseline entry missing from the current run is reported but
+does not fail (the run may be filtered). --update rewrites the
+baseline's measurements from the current run (preserving everything
+else in the file) instead of checking.
 
 The default tolerance is deliberately loose (25%): shared CI runners
 jitter by 10-15% run to run, and this gate exists to catch structural
@@ -83,12 +86,16 @@ def main():
         print(f"  {mark} {name}: {ips:.3e} items/s vs baseline "
               f"{base_ips:.3e} ({delta_pct:+.1f}%)"
               f"{' ' + verdict if verdict != 'ok' else ''}")
-    for name in sorted(set(current_marks) - set(baseline["benchmarks"])):
-        print(f"  +  {name}: new benchmark, not in baseline")
+    unbaselined = sorted(set(current_marks) - set(baseline["benchmarks"]))
+    for name in unbaselined:
+        print(f"  !! {name}: no baseline key in {args.baseline}")
 
     if failures:
         sys.exit(f"perf gate FAILED: {', '.join(failures)} regressed "
                  f"more than {tolerance:.0f}% vs {args.baseline}")
+    if unbaselined:
+        sys.exit(f"perf gate FAILED: {', '.join(unbaselined)} missing "
+                 f"from {args.baseline} — refresh it with --update")
     print(f"perf gate passed (tolerance {tolerance:.0f}%)")
 
 

@@ -9,6 +9,7 @@
 //                 [--max-failures=F] [--shrink=0|1] [--json=PATH]
 //                 [--isolate|--no-isolate] [--jobs=N] [--timeout-ms=T]
 //                 [--resume=PATH] [--misbehave=0|1] [--rm-blackhole=0|1]
+//                 [--overload=0|1]
 //
 // Generates T randomized fault schedules for the scenario, runs each
 // under a watchdog (event/sim-time budgets, livelock detection), and
@@ -104,6 +105,13 @@ std::optional<Args> parse(int argc, char** argv) {
       // windows (backward RM loss with paired recovery).
       else if (key == "rm-blackhole") {
         a.search.gen.rm_blackhole = std::stoi(val) != 0;
+      }
+      // Opt-in resource-exhaustion faults: arms the scenario's overload
+      // protection (bounded buffers + CAC) and adds memsqueeze/vcstorm
+      // windows to the generated grammar.
+      else if (key == "overload") {
+        a.spec.overload = std::stoi(val) != 0;
+        a.search.gen.overload = a.spec.overload;
       }
       else {
         std::fprintf(stderr, "unknown option: --%s\n", key.c_str());

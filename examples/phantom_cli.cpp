@@ -9,6 +9,7 @@
 //               [--adversaries=N] [--adversary-mode=greedy|forge|partial]
 //               [--compliance=C] [--policing=off|monitor|tag|drop]
 //               [--crm=N] [--cdf=F] [--adtf=MS] [--no-feedback-decay]
+//               [--overload] [--buffer-cells=N] [--no-epd] [--mcr-mbps=R]
 //               [--perf-report]
 //
 // Runs the scenario, prints the per-session goodput table, fairness
@@ -41,6 +42,14 @@
 // backoff entirely — the ablation that shows why it exists. All four
 // are accepted by --validate-only (a replayed chaos plan carries the
 // same source configuration).
+//
+// --overload arms overload protection: every switch gets a bounded cell
+// memory (frame-aware EPD/PPD discard; --buffer-cells sets the budget,
+// --no-epd is the early-discard ablation) and admission control, and the
+// report gains refusal/discard counters plus the degradation level.
+// --mcr-mbps gives every session that minimum cell rate (booked by CAC,
+// protected by the buffer manager). memsqueeze/vcstorm fault plans
+// require --overload — --validate-only rejects them without it.
 //
 // --perf-report appends kernel statistics after the scenario report:
 // events executed, wall-clock, events/sec, the peak pending-event count
@@ -97,6 +106,10 @@ struct Args {
   double cdf = 0.5;                  // cutoff decrease factor per FRM
   double adtf_ms = 250.0;            // stale-ACR deadline
   bool feedback_decay = true;        // --no-feedback-decay ablation
+  bool overload = false;             // bounded buffers + admission control
+  long buffer_cells = 0;             // per-switch budget; 0 = default
+  bool epd = true;                   // --no-epd ablation
+  double mcr_mbps = 0.0;             // per-session minimum cell rate
   bool perf_report = false;          // kernel statistics after the run
 };
 
@@ -174,6 +187,14 @@ std::optional<Args> parse(int argc, char** argv) {
       a.perf_report = true;
       continue;
     }
+    if (arg == "--overload") {  // bare flag
+      a.overload = true;
+      continue;
+    }
+    if (arg == "--no-epd") {  // bare flag
+      a.epd = false;
+      continue;
+    }
     const auto eq = arg.find('=');
     if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
       std::fprintf(stderr, "bad argument: %s (want --key=value)\n",
@@ -205,6 +226,14 @@ std::optional<Args> parse(int argc, char** argv) {
       else if (key == "crm") a.crm = std::stoi(val);
       else if (key == "cdf") a.cdf = std::stod(val);
       else if (key == "adtf") a.adtf_ms = std::stod(val);
+      else if (key == "buffer-cells") {
+        a.buffer_cells = std::stol(val);
+        if (a.buffer_cells < 1) {
+          std::fprintf(stderr, "--buffer-cells must be >= 1\n");
+          return std::nullopt;
+        }
+      }
+      else if (key == "mcr-mbps") a.mcr_mbps = std::stod(val);
       else {
         std::fprintf(stderr, "unknown option: --%s\n", key.c_str());
         return std::nullopt;
@@ -240,6 +269,14 @@ std::optional<Args> parse(int argc, char** argv) {
   }
   if (a.crm < 1 || a.cdf <= 0.0 || a.cdf > 1.0 || a.adtf_ms <= 0.0) {
     std::fprintf(stderr, "need crm >= 1, cdf in (0, 1], adtf > 0 ms\n");
+    return std::nullopt;
+  }
+  if (a.mcr_mbps < 0.0) {
+    std::fprintf(stderr, "mcr-mbps must be >= 0\n");
+    return std::nullopt;
+  }
+  if (!a.overload && (a.buffer_cells > 0 || !a.epd)) {
+    std::fprintf(stderr, "--buffer-cells and --no-epd need --overload\n");
     return std::nullopt;
   }
   if (a.validate_only && a.fault_plan.empty()) {
@@ -353,6 +390,13 @@ int run_abr_scenario(const Args& args, exp::Algorithm alg) {
   spec.abr_params.cdf = args.cdf;
   spec.abr_params.adtf = Time::from_seconds(args.adtf_ms / 1e3);
   spec.abr_params.feedback_decay = args.feedback_decay;
+  if (args.mcr_mbps > 0.0) spec.abr_params.mcr = Rate::mbps(args.mcr_mbps);
+  spec.overload = args.overload;
+  if (args.buffer_cells > 0) {
+    spec.overload_options.buffer.budget_cells =
+        static_cast<std::size_t>(args.buffer_cells);
+  }
+  spec.overload_options.buffer.epd = args.epd;
 
   if (args.validate_only) {
     // Dry run: parse the plan and resolve every target against the real
@@ -472,6 +516,35 @@ int run_abr_scenario(const Args& args, exp::Algorithm alg) {
                     : 0.0,
         static_cast<unsigned long long>(tagged),
         static_cast<unsigned long long>(dropped));
+  }
+  if (args.overload) {
+    const atm::CacCounters cac = net.cac_totals();
+    std::printf(
+        "admission: admitted %llu, refused %llu (vc-limit %llu, "
+        "mcr-budget %llu, buffer %llu, pressure %llu)\n",
+        static_cast<unsigned long long>(cac.admitted),
+        static_cast<unsigned long long>(cac.refused_total()),
+        static_cast<unsigned long long>(cac.refused_vc_limit),
+        static_cast<unsigned long long>(cac.refused_mcr_budget),
+        static_cast<unsigned long long>(cac.refused_buffer),
+        static_cast<unsigned long long>(cac.refused_pressure));
+    std::size_t peak = 0;
+    auto worst = atm::DegradationLevel::kNormal;
+    for (std::size_t s = 0; s < net.num_switches(); ++s) {
+      const atm::BufferManager* bm = net.node(s).buffer_manager();
+      if (bm == nullptr) continue;
+      peak += bm->peak_cells_in_use();
+      worst = std::max(worst, bm->worst_level());
+    }
+    std::printf(
+        "buffers: in use %zu cells (peak %zu), epd frames %llu, "
+        "ppd cells %llu, shed %llu, overflow %llu, worst level %s\n",
+        net.buffer_cells_in_use(), peak,
+        static_cast<unsigned long long>(net.epd_frames_discarded()),
+        static_cast<unsigned long long>(net.cells_ppd_discarded()),
+        static_cast<unsigned long long>(net.cells_shed()),
+        static_cast<unsigned long long>(net.buffer_overflow_drops()),
+        atm::to_string(worst).c_str());
   }
   if (perf) perf->print();
   return 0;

@@ -37,6 +37,27 @@ class AbrDestination final : public CellSink {
   }
   [[nodiscard]] std::uint64_t total_data_cells() const { return total_data_; }
   [[nodiscard]] std::uint64_t rm_cells_turned() const { return rm_turned_; }
+
+  /// AAL5 frame accounting (cells arrive in order on a VC, so a frame
+  /// closes when its EOM cell arrives or when the next frame's first
+  /// cell does): a frame is good only if the EOM arrived and every one
+  /// of its `frame_len` cells did. A switch dropping mid-frame without
+  /// PPD corrupts the frame even though most of its cells consumed link
+  /// capacity — the frame-level goodput the overload figures plot.
+  [[nodiscard]] std::uint64_t frames_good(int vc) const {
+    const auto it = per_vc_.find(vc);
+    return it == per_vc_.end() ? 0 : it->second.frames_good;
+  }
+  [[nodiscard]] std::uint64_t frames_corrupted(int vc) const {
+    const auto it = per_vc_.find(vc);
+    return it == per_vc_.end() ? 0 : it->second.frames_corrupted;
+  }
+  [[nodiscard]] std::uint64_t total_frames_good() const {
+    return total_frames_good_;
+  }
+  [[nodiscard]] std::uint64_t total_frames_corrupted() const {
+    return total_frames_corrupted_;
+  }
   /// Reverse access link carrying turned-around RM cells back into the
   /// network (shared fault state, see LinkState).
   [[nodiscard]] Link& link() { return link_; }
@@ -68,13 +89,22 @@ class AbrDestination final : public CellSink {
     std::uint64_t data_cells = 0;
     double delay_sum_ms = 0.0;
     double delay_max_ms = 0.0;
+    bool frame_open = false;        // cells of cur_frame_id seen, no EOM yet
+    std::uint32_t cur_frame_id = 0;
+    std::uint32_t cur_frame_cells = 0;
+    std::uint64_t frames_good = 0;
+    std::uint64_t frames_corrupted = 0;
   };
+
+  void account_frame(VcState& st, const Cell& cell);
 
   sim::Simulator* sim_;
   Link link_;
   std::unordered_map<int, VcState> per_vc_;
   std::uint64_t total_data_ = 0;
   std::uint64_t rm_turned_ = 0;
+  std::uint64_t total_frames_good_ = 0;
+  std::uint64_t total_frames_corrupted_ = 0;
   stats::Histogram delays_{100.0, 1000};  // ms, 0.1 ms bins
 };
 

@@ -63,6 +63,15 @@ struct AbrParams {
   /// ablation.
   bool feedback_decay = true;
 
+  /// AAL5 frame size in cells: data cells are stamped with frame
+  /// boundaries so frame-aware discard (EPD/PPD) has something to key
+  /// off. 1 (the default) makes every cell its own complete frame,
+  /// which is byte-identical to the pre-frame behaviour; the overload
+  /// experiments use larger frames so a single dropped cell wastes a
+  /// whole frame's worth of link work unless the switch discards
+  /// frame-aligned.
+  int frame_cells = 1;
+
   /// Throws std::invalid_argument if the parameter set is inconsistent.
   void validate() const {
     if (pcr.bits_per_sec() <= 0) throw std::invalid_argument{"PCR must be positive"};
@@ -79,6 +88,8 @@ struct AbrParams {
       throw std::invalid_argument{"CDF must be in (0, 1]"};
     if (adtf <= sim::Time::zero())
       throw std::invalid_argument{"ADTF must be positive"};
+    if (frame_cells < 1 || frame_cells > 65535)
+      throw std::invalid_argument{"frame_cells must be in [1, 65535]"};
   }
 };
 

@@ -194,6 +194,15 @@ void AbrSource::send_next_cell() {
     if (behavior_ == SourceBehavior::kForging) emit_forged_backward_rm();
   } else {
     cell = Cell::data(vc_);
+    // Stamp the AAL5 frame boundary: in-rate RM cells interleave with a
+    // frame's data cells on the wire, but the frame itself is data-only.
+    cell.frame = frame_id_;
+    cell.frame_len = static_cast<std::uint16_t>(params_.frame_cells);
+    if (++frame_pos_ >= params_.frame_cells) {
+      cell.eof = true;
+      frame_pos_ = 0;
+      ++frame_id_;
+    }
     ++data_sent_;
   }
   cells_since_rm_ = (cells_since_rm_ + 1) % static_cast<std::uint64_t>(params_.nrm);

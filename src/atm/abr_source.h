@@ -94,6 +94,9 @@ class AbrSource final : public CellSink {
     return std::min(acr_, demand_);
   }
   [[nodiscard]] std::uint64_t data_cells_sent() const { return data_sent_; }
+  /// Complete AAL5 frames emitted (frame_cells data cells each); the
+  /// numerator of frame-level goodput at the destination.
+  [[nodiscard]] std::uint64_t frames_sent() const { return frame_id_; }
   [[nodiscard]] std::uint64_t rm_cells_sent() const { return rm_sent_; }
   [[nodiscard]] std::uint64_t brm_cells_received() const { return brm_received_; }
 
@@ -143,6 +146,8 @@ class AbrSource final : public CellSink {
   bool started_ = false;
   bool sending_ = false;           // a pacing event is outstanding
   std::uint64_t cells_since_rm_ = 0;
+  std::uint32_t frame_id_ = 0;   // AAL5 frame being emitted
+  int frame_pos_ = 0;            // data cells of frame_id_ sent so far
   std::uint64_t data_sent_ = 0;
   std::uint64_t rm_sent_ = 0;
   std::uint64_t brm_received_ = 0;

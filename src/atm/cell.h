@@ -40,6 +40,17 @@ struct Cell {
   /// tagged cells are dropped first when a port queue passes its CLP
   /// threshold (partial buffer sharing).
   bool clp = false;
+  /// AAL5 frame boundary: last cell of a frame (the EOM bit in the
+  /// payload-type field). Frame-aware discard (EPD/PPD) keys off it.
+  bool eof = false;
+  /// Frame identity: per-VC frame sequence number and the frame's length
+  /// in cells. Destinations judge a frame good only when all `frame_len`
+  /// cells of the same `frame` arrive; switches use the boundary to shed
+  /// whole frames instead of corrupting several. frame_len = 1 (the
+  /// default) makes every data cell its own complete frame, which is the
+  /// pre-frame behaviour exactly.
+  std::uint32_t frame = 0;
+  std::uint16_t frame_len = 1;
   /// Source transmission time; destinations derive end-to-end delay.
   sim::Time sent_at;
 

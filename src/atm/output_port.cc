@@ -31,6 +31,16 @@ void OutputPort::send(Cell cell) {
     controller_->on_cell_dropped(cell);
     return;
   }
+  if (buffer_mgr_ != nullptr &&
+      buffer_mgr_->admit(bm_port_id_, cell, sim_->now()) !=
+          BufferManager::Verdict::kAccept) {
+    // Same accounting as a queue-limit drop: the controller still sees
+    // the offered load, and the port's dropped counter keeps the
+    // conservation ledger exact (the manager's counters say *why*).
+    ++dropped_;
+    controller_->on_cell_dropped(cell);
+    return;
+  }
   if (cell.kind == CellKind::kData && controller_->mark_efci(queue_length())) {
     cell.efci = true;
   }
@@ -61,6 +71,7 @@ void OutputPort::on_transmission_complete() {
   serving_ = nullptr;
   const Cell cell = q.front();
   q.pop_front();
+  if (buffer_mgr_ != nullptr) buffer_mgr_->release(bm_port_id_, cell);
   ++transmitted_;
   controller_->on_cell_transmitted(cell);
   link_.deliver(cell);

@@ -1,11 +1,13 @@
 // Output-queued switch port: FIFO buffer + transmitter + controller.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
 
+#include "atm/buffer_manager.h"
 #include "atm/cell.h"
 #include "atm/link.h"
 #include "atm/port_controller.h"
@@ -73,6 +75,19 @@ class OutputPort {
   [[nodiscard]] PortController& controller() { return *controller_; }
   [[nodiscard]] const PortController& controller() const { return *controller_; }
 
+  /// Joins the owning switch's bounded cell memory: every enqueue must
+  /// clear the BufferManager's admission (frame-aware EPD/PPD, dynamic
+  /// thresholds, hard budget) and every transmission returns its cell.
+  /// `bm` must outlive the port; `port_id` is the id register_port()
+  /// returned. Attach before traffic flows — cells already queued are
+  /// unknown to the manager.
+  void attach_buffer_manager(BufferManager* bm, int port_id) {
+    assert(queue_length() == 0 && "attach before any cell is queued");
+    buffer_mgr_ = bm;
+    bm_port_id_ = port_id;
+  }
+  [[nodiscard]] bool buffer_managed() const { return buffer_mgr_ != nullptr; }
+
  private:
   void start_transmission();
   void on_transmission_complete();
@@ -89,6 +104,8 @@ class OutputPort {
   std::deque<Cell>* serving_ = nullptr;  // queue of the cell on the wire
   bool transmitting_ = false;
   std::size_t max_queue_ = 0;
+  BufferManager* buffer_mgr_ = nullptr;  // switch-wide memory, if bounded
+  int bm_port_id_ = -1;
   std::size_t clp_threshold_ = SIZE_MAX;
   std::uint64_t clp_dropped_ = 0;
   std::uint64_t dropped_ = 0;

@@ -15,13 +15,128 @@ void ReaperConfig::validate() const {
     throw std::invalid_argument{"reaper period must be positive"};
 }
 
+void CacConfig::validate() const {
+  if (mcr_utilization <= 0.0 || mcr_utilization > 1.0)
+    throw std::invalid_argument{"mcr_utilization must be in (0, 1]"};
+  if (per_vc_buffer_cells < 1)
+    throw std::invalid_argument{"per_vc_buffer_cells must be at least 1"};
+  if (max_vcs < 1)
+    throw std::invalid_argument{"max_vcs must be at least 1"};
+}
+
+std::string to_string(AdmitVerdict v) {
+  switch (v) {
+    case AdmitVerdict::kAdmitted: return "admitted";
+    case AdmitVerdict::kRefusedVcLimit: return "vc-limit";
+    case AdmitVerdict::kRefusedMcrBudget: return "mcr-budget";
+    case AdmitVerdict::kRefusedBufferHeadroom: return "buffer-headroom";
+    case AdmitVerdict::kRefusedPressure: return "pressure";
+  }
+  return "?";
+}
+
 std::size_t Switch::add_port(sim::Rate rate, std::size_t queue_limit,
                              Link link,
                              std::unique_ptr<PortController> controller,
                              QueueDiscipline discipline) {
   ports_.push_back(std::make_unique<OutputPort>(
       *sim_, rate, queue_limit, link, std::move(controller), discipline));
+  mcr_booked_.push_back(sim::Rate::zero());
+  if (buffer_mgr_) {
+    ports_.back()->attach_buffer_manager(buffer_mgr_.get(),
+                                         buffer_mgr_->register_port());
+  }
   return ports_.size() - 1;
+}
+
+void Switch::enable_buffer_management(BufferConfig config) {
+  config.validate();
+  buffer_mgr_ = std::make_unique<BufferManager>(config);
+  for (auto& port : ports_) {
+    port->attach_buffer_manager(buffer_mgr_.get(),
+                                buffer_mgr_->register_port());
+  }
+}
+
+void Switch::enable_admission_control(CacConfig config) {
+  config.validate();
+  cac_config_ = config;
+  cac_enabled_ = true;
+}
+
+void Switch::record_admission(int vc, sim::Rate mcr,
+                              std::size_t forward_port) {
+  admitted_[vc] = Admission{mcr, forward_port};
+  mcr_booked_.at(forward_port) += mcr;
+  if (buffer_mgr_) buffer_mgr_->set_vc_mcr(vc, mcr, sim_->now());
+}
+
+bool Switch::release_admission(int vc) {
+  const auto it = admitted_.find(vc);
+  if (it == admitted_.end()) return false;
+  mcr_booked_.at(it->second.forward_port) -= it->second.mcr;
+  // Guard against float drift pushing a fully-released booking negative.
+  if (mcr_booked_.at(it->second.forward_port) < sim::Rate::zero())
+    mcr_booked_.at(it->second.forward_port) = sim::Rate::zero();
+  admitted_.erase(it);
+  return true;
+}
+
+AdmitVerdict Switch::admit_vc(int vc, sim::Rate mcr,
+                              std::size_t forward_port) {
+  if (forward_port >= ports_.size())
+    throw std::out_of_range{"admit_vc: port index out of range"};
+  if (admitted_.count(vc) > 0)
+    throw std::invalid_argument{"admit_vc: VC already admitted on " + name_};
+  if (!cac_enabled_) {
+    // CAC off: everything is admitted, but the booking is still kept so
+    // MCR protection and eviction work, and so arming CAC later sees
+    // the true commitment.
+    record_admission(vc, mcr, forward_port);
+    return AdmitVerdict::kAdmitted;
+  }
+  // Degradation ladder, first rung: a switch already shedding admitted
+  // traffic must not take on more commitments, whatever the books say.
+  if (buffer_mgr_ &&
+      buffer_mgr_->level() >= DegradationLevel::kShedding) {
+    ++cac_counters_.refused_pressure;
+    return AdmitVerdict::kRefusedPressure;
+  }
+  if (admitted_.size() >= cac_config_.max_vcs) {
+    ++cac_counters_.refused_vc_limit;
+    return AdmitVerdict::kRefusedVcLimit;
+  }
+  const sim::Rate booked = mcr_booked_.at(forward_port);
+  const sim::Rate limit =
+      ports_[forward_port]->rate() * cac_config_.mcr_utilization;
+  if (booked + mcr > limit) {
+    ++cac_counters_.refused_mcr_budget;
+    return AdmitVerdict::kRefusedMcrBudget;
+  }
+  if (buffer_mgr_) {
+    const std::size_t needed =
+        (admitted_.size() + 1) * cac_config_.per_vc_buffer_cells;
+    if (needed > buffer_mgr_->effective_budget()) {
+      ++cac_counters_.refused_buffer;
+      return AdmitVerdict::kRefusedBufferHeadroom;
+    }
+  }
+  ++cac_counters_.admitted;
+  record_admission(vc, mcr, forward_port);
+  return AdmitVerdict::kAdmitted;
+}
+
+void Switch::force_admit_vc(int vc, sim::Rate mcr,
+                            std::size_t forward_port) {
+  if (forward_port >= ports_.size())
+    throw std::out_of_range{"force_admit_vc: port index out of range"};
+  if (admitted_.count(vc) > 0) return;  // idempotent grandfathering
+  record_admission(vc, mcr, forward_port);
+}
+
+bool Switch::unroute_vc(int vc) {
+  evict_vc(vc);  // admission booking, policer state, activity stamp
+  return routes_.erase(vc) > 0;
 }
 
 void Switch::route_vc(int vc, std::size_t forward_port,
@@ -64,7 +179,11 @@ void Switch::on_reap_tick() {
 bool Switch::evict_vc(int vc) {
   const bool had_activity = last_activity_.erase(vc) > 0;
   const bool had_policer_state = policer_ && policer_->evict_vc(vc);
-  if (!had_activity && !had_policer_state) return false;
+  const bool had_admission = release_admission(vc);
+  const bool had_buffer_state = buffer_mgr_ && buffer_mgr_->evict_vc(vc);
+  if (!had_activity && !had_policer_state && !had_admission &&
+      !had_buffer_state)
+    return false;
   ++vcs_reaped_;
   // Both directions' controllers get the notification: session-count
   // and per-VC state can live on either side of the route.

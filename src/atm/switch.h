@@ -5,12 +5,62 @@
 #include <unordered_map>
 #include <vector>
 
+#include "atm/buffer_manager.h"
 #include "atm/cell.h"
 #include "atm/output_port.h"
 #include "atm/policer.h"
 #include "sim/simulator.h"
 
 namespace phantom::atm {
+
+/// Connection Admission Control: whether a new VC may be set up through
+/// this switch. ER feedback shares bandwidth among sessions already
+/// admitted; nothing in the data path bounds how many sessions get
+/// admitted in the first place, and each admitted VC costs switch memory
+/// (routes, policer GCRA state, MCR reservation) no matter how little it
+/// sends. CAC closes that hole: setup is refused — with a per-reason
+/// counter — rather than letting the switch over-commit and fail later.
+struct CacConfig {
+  /// Fraction of a forward port's link rate bookable as the sum of
+  /// admitted MCRs. Below 1.0 so admitted minimum rates stay deliverable
+  /// alongside RM-cell overhead and guaranteed-class traffic.
+  double mcr_utilization = 0.9;
+  /// Buffer headroom each admitted VC must be able to claim: a setup is
+  /// refused when admitted_vcs * per_vc_buffer_cells would exceed the
+  /// switch's cell-memory budget.
+  std::size_t per_vc_buffer_cells = 16;
+  /// Hard bound on the VC table (routes, policer state, reaper
+  /// timestamps are all per-VC).
+  std::size_t max_vcs = 4096;
+
+  void validate() const;
+};
+
+/// Why a VC was admitted or refused at setup.
+enum class AdmitVerdict {
+  kAdmitted,
+  kRefusedVcLimit,         ///< VC table at max_vcs
+  kRefusedMcrBudget,       ///< MCR sum would exceed the port's booking limit
+  kRefusedBufferHeadroom,  ///< cell memory cannot back another VC
+  kRefusedPressure,        ///< degradation ladder: switch already shedding
+};
+
+[[nodiscard]] std::string to_string(AdmitVerdict v);
+
+/// Per-reason admission counters. Only ever incremented — the invariant
+/// monitor checks refusals are monotone (a squeeze must not "un-refuse").
+struct CacCounters {
+  std::uint64_t admitted = 0;
+  std::uint64_t refused_vc_limit = 0;
+  std::uint64_t refused_mcr_budget = 0;
+  std::uint64_t refused_buffer = 0;
+  std::uint64_t refused_pressure = 0;
+
+  [[nodiscard]] std::uint64_t refused_total() const {
+    return refused_vc_limit + refused_mcr_budget + refused_buffer +
+           refused_pressure;
+  }
+};
 
 /// Stale-VC reaper policy: a VC silent for `timeout` is declared dead
 /// by the next periodic sweep. "Silent" means no cell of any kind — a
@@ -93,6 +143,57 @@ class Switch final : public CellSink {
   [[nodiscard]] std::size_t active_vcs() const { return last_activity_.size(); }
   [[nodiscard]] bool reaping_enabled() const { return reaping_; }
 
+  /// Bounds this switch's cell memory: all ports (present and future)
+  /// share one BufferManager budget with frame-aware discard. Must be
+  /// enabled before any cell is queued.
+  void enable_buffer_management(BufferConfig config);
+  [[nodiscard]] BufferManager* buffer_manager() { return buffer_mgr_.get(); }
+  [[nodiscard]] const BufferManager* buffer_manager() const {
+    return buffer_mgr_.get();
+  }
+
+  /// Arms Connection Admission Control: subsequent admit_vc calls are
+  /// checked against the MCR booking limit, buffer headroom, the VC
+  /// table bound, and the degradation ladder.
+  void enable_admission_control(CacConfig config);
+  [[nodiscard]] bool admission_control_enabled() const { return cac_enabled_; }
+
+  /// Asks to admit VC `vc` with minimum rate `mcr` exiting via
+  /// `forward_port`. kAdmitted books the MCR (and registers MCR
+  /// protection with the buffer manager); any refusal increments the
+  /// matching counter and leaves no state behind. With CAC off, setup
+  /// is always admitted (and still registered, so MCR protection and
+  /// release-on-evict work for grandfathered sessions).
+  AdmitVerdict admit_vc(int vc, sim::Rate mcr, std::size_t forward_port);
+
+  /// Registers an already-established VC without consulting (or
+  /// counting against) the admission checks: grandfathering for
+  /// sessions that predate enable_admission_control. Still books the
+  /// MCR so later setups see the true commitment.
+  void force_admit_vc(int vc, sim::Rate mcr, std::size_t forward_port);
+
+  /// Removes a VC's route *and* dynamic state — teardown for a session
+  /// the caller is unwiring entirely. Returns whether a route existed.
+  bool unroute_vc(int vc);
+
+  /// Rollback half of multi-hop admission: a VC admitted here but
+  /// refused at a later hop releases its booking without counting as an
+  /// eviction (it never carried a cell).
+  void cancel_admission(int vc) {
+    release_admission(vc);
+    if (buffer_mgr_) buffer_mgr_->evict_vc(vc);
+  }
+
+  [[nodiscard]] const CacCounters& cac_counters() const {
+    return cac_counters_;
+  }
+  /// MCR currently booked on a forward port (sum over admitted VCs).
+  [[nodiscard]] sim::Rate mcr_booked(std::size_t port) const {
+    return mcr_booked_.at(port);
+  }
+  /// VCs currently holding an admission record.
+  [[nodiscard]] std::size_t admitted_vcs() const { return admitted_.size(); }
+
  private:
   void on_reap_tick();
 
@@ -106,9 +207,24 @@ class Switch final : public CellSink {
 
   sim::Simulator* sim_;
   std::string name_;
+  /// Books `mcr` for an established VC (shared by admit and force-admit).
+  void record_admission(int vc, sim::Rate mcr, std::size_t forward_port);
+  /// Releases a VC's admission record and MCR booking, if any.
+  bool release_admission(int vc);
+
   std::vector<std::unique_ptr<OutputPort>> ports_;
   std::unordered_map<int, Route> routes_;
   std::uint64_t unrouted_ = 0;
+  std::unique_ptr<BufferManager> buffer_mgr_;
+  bool cac_enabled_ = false;
+  CacConfig cac_config_;
+  CacCounters cac_counters_;
+  struct Admission {
+    sim::Rate mcr;
+    std::size_t forward_port;
+  };
+  std::unordered_map<int, Admission> admitted_;
+  std::vector<sim::Rate> mcr_booked_;  // per forward port
   std::unique_ptr<Policer> policer_;
   std::uint64_t rm_sanitized_ = 0;
   bool reaping_ = false;

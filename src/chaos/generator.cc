@@ -62,18 +62,27 @@ FaultPlan generate_plan(sim::Rng& rng, const ScenarioSpec& spec,
                              static_cast<std::int64_t>(
                                  opt.max_duration.milliseconds()));
 
+  // Opt-in kinds widen the draw range without renumbering the stable
+  // kinds: the draw indexes this table, so a `misbehave`-only seed
+  // still maps slot 6 -> misbehave, an rm_blackhole-only seed maps its
+  // single extra slot onto case 7, and every pre-existing flag combo
+  // reproduces its historical RNG stream exactly.
+  std::vector<int> enabled_kinds{0, 1, 2, 3, 4, 5};
+  if (opt.misbehave) enabled_kinds.push_back(6);
+  if (opt.rm_blackhole) enabled_kinds.push_back(7);
+  if (opt.overload) {
+    enabled_kinds.push_back(8);
+    enabled_kinds.push_back(9);
+  }
+
   FaultPlan plan;
   const int target_events = static_cast<int>(
       rng.uniform_int(opt.min_events, std::max(opt.min_events, opt.max_events)));
   while (static_cast<int>(plan.events.size()) < target_events) {
     const Time at = pick_ms(rng, lo_ms, hi_ms);
-    // Opt-in kinds widen the draw range without renumbering the stable
-    // kinds: a `misbehave`-only seed still maps 6 -> misbehave, and
-    // when only rm_blackhole is on the single extra slot is remapped
-    // onto its case below.
-    const int extras = (opt.misbehave ? 1 : 0) + (opt.rm_blackhole ? 1 : 0);
-    auto kind = rng.uniform_int(0, 5 + extras);
-    if (kind == 6 && !opt.misbehave) kind = 7;
+    const std::size_t before = plan.events.size();
+    const int kind = enabled_kinds[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(enabled_kinds.size()) - 1))];
     switch (kind) {
       case 0:
         plan.outage(pick_link_target(rng, topo), at,
@@ -135,6 +144,34 @@ FaultPlan generate_plan(sim::Rng& rng, const ScenarioSpec& spec,
         plan.rm_blackhole(pick_link_target(rng, topo), at,
                           pick_ms(rng, 1, dur_ms), pick_pct(rng, 50, 100));
         break;
+      case 8:
+        // Memory squeeze: always windowed so the budget is restored
+        // before the horizon and the end state matches the fault-free
+        // run. Fraction on the two-decimal lattice for the round trip.
+        plan.memsqueeze(at, pick_pct(rng, 10, 90), pick_ms(rng, 1, dur_ms));
+        break;
+      case 9:
+        // VC storm: admitted storm sessions tear down at the window
+        // end, so pre-existing sessions end in their nominal state.
+        plan.vcstorm(at, static_cast<int>(rng.uniform_int(2, 16)),
+                     pick_ms(rng, 1, dur_ms));
+        break;
+    }
+    // The grammar rejects two events of the same kind / target /
+    // instant as duplicates; drop a colliding draw and redraw so every
+    // generated plan survives the parse(to_spec()) round trip. (Extra
+    // RNG draws happen only where the old generator produced a plan
+    // the shrinker could never have replayed anyway.)
+    for (std::size_t n = before; n < plan.events.size(); ++n) {
+      for (std::size_t i = 0; i < before; ++i) {
+        if (plan.events[i].kind == plan.events[n].kind &&
+            plan.events[i].target == plan.events[n].target &&
+            plan.events[i].at == plan.events[n].at) {
+          plan.events.resize(before);
+          n = plan.events.size();  // break both loops
+          break;
+        }
+      }
     }
   }
   return plan;

@@ -38,6 +38,11 @@ struct GenOptions {
   /// feedback path goes dark while data keeps flowing) in the sampled
   /// kind mix. Opt-in for the same seed-stability reason as misbehave.
   bool rm_blackhole = false;
+  /// Include resource-exhaustion faults (`memsqueeze` buffer squeezes
+  /// and `vcstorm` session-setup floods) in the sampled kind mix.
+  /// Requires a scenario with overload protection armed (the injector
+  /// refuses such plans otherwise). Opt-in for seed stability.
+  bool overload = false;
 };
 
 /// Samples a fault schedule for `spec`'s topology. Guarantees:

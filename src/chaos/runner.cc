@@ -196,9 +196,12 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed,
   // creates cells (a greedy source fills the link past the controller's
   // u-utilization target), so plans carrying one skip the delivered
   // bound — the settled-share check still judges post-comply recovery.
-  bool plan_misbehaves = false;
+  // A vcstorm skips it for the same reason: its admitted storm sessions
+  // deliver cells the fault-free baseline never had.
+  bool waive_delivered_bound = false;
   for (const auto& e : plan.events) {
-    plan_misbehaves |= e.kind == fault::FaultEvent::Kind::kMisbehave;
+    waive_delivered_bound |= e.kind == fault::FaultEvent::Kind::kMisbehave ||
+                             e.kind == fault::FaultEvent::Kind::kVcStorm;
   }
   if (baseline != nullptr) {
     const double clean = baseline->settled_share_bps;
@@ -214,7 +217,7 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed,
     const auto limit = static_cast<std::uint64_t>(
         static_cast<double>(baseline->delivered_cells) *
         (1.0 + opt.oracle.delivered_slack));
-    if (!plan_misbehaves && delivered > limit) {
+    if (!waive_delivered_bound && delivered > limit) {
       r.verdict = Verdict::kDifferential;
       r.detail = "delivered " + std::to_string(delivered) +
                  " cells, fault-free run delivered only " +

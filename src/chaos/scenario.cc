@@ -55,6 +55,7 @@ TopologyInfo topology_info(const ScenarioSpec& spec) {
 atm::OutputPort& build_topology(const ScenarioSpec& spec,
                                 topo::AbrNetwork& net) {
   using sim::Rate;
+  atm::OutputPort* watched = nullptr;
   switch (spec.kind) {
     case ScenarioSpec::Kind::kBottleneck: {
       const auto sw = net.add_switch("sw");
@@ -64,7 +65,8 @@ atm::OutputPort& build_topology(const ScenarioSpec& spec,
       for (int i = 0; i < spec.sessions; ++i) {
         net.add_session(sw, {}, dest, spec.abr_params);
       }
-      return net.dest_port(dest);
+      watched = &net.dest_port(dest);
+      break;
     }
     case ScenarioSpec::Kind::kParking: {
       const int hops = parking_hops(spec);
@@ -91,10 +93,15 @@ atm::OutputPort& build_topology(const ScenarioSpec& spec,
                         {trunks[static_cast<std::size_t>(i)]}, d,
                         spec.abr_params);
       }
-      return net.trunk_port(trunks[0]);
+      watched = &net.trunk_port(trunks[0]);
+      break;
     }
   }
-  throw std::logic_error{"chaos: bad scenario kind"};
+  if (watched == nullptr) throw std::logic_error{"chaos: bad scenario kind"};
+  // Armed after the sessions exist so enable_overload_protection
+  // grandfathers them (MCRs booked without being re-judged).
+  if (spec.overload) net.enable_overload_protection(spec.overload_options);
+  return *watched;
 }
 
 }  // namespace phantom::chaos

@@ -33,6 +33,13 @@ struct ScenarioSpec {
   /// the TM 4.0 values phantom_cli uses.
   atm::AbrParams abr_params{};
 
+  /// Arm overload protection (bounded cell memory + admission control)
+  /// on the built network. Required for plans containing memsqueeze /
+  /// vcstorm events; opt-in so existing scenario specs stay identical.
+  bool overload = false;
+  /// Shared buffer/CAC configuration when `overload` is set.
+  topo::OverloadOptions overload_options{};
+
   /// Tests plant deliberately broken controllers here (the chaos
   /// harness's own regression tests); empty = make_factory(algorithm).
   topo::ControllerFactory factory_override;

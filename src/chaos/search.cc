@@ -100,6 +100,7 @@ std::string SearchReport::cli_replay(const Failure& f) const {
   cmd += " --rate-mbps=" + fmt_double(spec.rate_mbps);
   cmd += " --duration-ms=" + fmt_double(spec.horizon.milliseconds());
   cmd += " --seed=" + std::to_string(options.seed);
+  if (spec.overload) cmd += " --overload";
   cmd += " --fault-plan='" + f.shrunk_plan.to_spec() + "'";
   return cmd;
 }

@@ -6,7 +6,9 @@
 
 #include <algorithm>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <memory>
@@ -72,6 +74,9 @@ class SigintScope {
   out += ", \"horizon_ns\": " + std::to_string(spec.horizon.nanoseconds());
   out += ", \"seed\": " + std::to_string(seed);
   out += ", \"trials\": " + std::to_string(trials);
+  // Only emitted when armed, so checkpoints from overload-free searches
+  // stay byte-identical to those written before the field existed.
+  if (spec.overload) out += ", \"overload\": true";
   out += "}";
   return out;
 }
@@ -90,6 +95,8 @@ class Checkpoint {
     const std::string header = checkpoint_header(spec, seed, plans.size());
     std::ifstream in{path};
     bool resuming = false;
+    bool torn = false;
+    std::streamoff last_good_end = 0;
     if (in) {
       std::string line;
       if (std::getline(in, line) && !line.empty()) {
@@ -100,13 +107,23 @@ class Checkpoint {
               "\n  current: " + header};
         }
         resuming = true;
+        last_good_end = in.tellg();
         int lineno = 1;
         while (std::getline(in, line)) {
           ++lineno;
           if (line.empty()) continue;
           std::string plan_spec;
           const auto row = parse_checkpoint_row(line, &plan_spec);
-          if (!row) continue;  // torn trailing write — re-run that trial
+          if (!row) {
+            // Torn write (crash mid-append) — drop the row, warn so the
+            // re-run is visible, and keep resuming the rest.
+            std::fprintf(stderr,
+                         "chaos checkpoint %s: dropping unparseable row at "
+                         "line %d (torn write?); its trial will re-run\n",
+                         path.c_str(), lineno);
+            torn = true;
+            continue;
+          }
           const auto [trial, result] = *row;
           if (trial < 0 || trial >= static_cast<int>(plans.size())) {
             throw std::runtime_error{
@@ -123,15 +140,44 @@ class Checkpoint {
           }
           if (!results[trial]) ++resumed;
           results[trial] = result;
+          // tellg() is -1 once EOF is hit (a final row with no newline);
+          // keep the previous mark — resize may drop that row, but its
+          // trial simply re-runs.
+          if (const std::streamoff pos = in.tellg(); pos != -1) {
+            last_good_end = pos;
+          }
         }
       }
     }
     in.close();
+    if (torn) {
+      // Cut the torn tail off before appending: writing after a partial
+      // row would fuse the re-run's row onto it, turning one lost trial
+      // into two on the next resume. Trailing garbage after the last
+      // parseable row goes with it.
+      std::filesystem::resize_file(
+          path, static_cast<std::uintmax_t>(last_good_end));
+    }
+    // A crash exactly between a row and its newline leaves a parseable
+    // but unterminated last line; appending needs a fresh line either
+    // way.
+    bool unterminated = false;
+    if (resuming) {
+      std::ifstream tail{path, std::ios::binary};
+      tail.seekg(0, std::ios::end);
+      if (tail.tellg() > 0) {
+        tail.seekg(-1, std::ios::end);
+        char last = '\n';
+        tail.get(last);
+        unterminated = last != '\n';
+      }
+    }
     out_.open(path, resuming ? std::ios::app : std::ios::trunc);
     if (!out_) {
       throw std::runtime_error{"chaos checkpoint: cannot write " + path};
     }
     if (!resuming) out_ << header << "\n" << std::flush;
+    if (unterminated) out_ << "\n" << std::flush;
   }
 
   void append(int trial, const std::string& plan_spec, const TrialResult& r) {

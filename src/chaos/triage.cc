@@ -101,10 +101,21 @@ std::string failure_fingerprint(const TrialResult& r,
       return std::string{to_string(r.verdict)} + "|misbehave|" +
              std::to_string(adversaries.size());
     }
-    // Checked after misbehave so pre-existing fingerprints are
-    // unchanged: a plan with both gets the misbehave class (defection
-    // dominates — the blackhole only starves feedback the defector was
-    // ignoring anyway).
+    // Checked after misbehave (defection dominates: overload pressure
+    // from a defector is still the defector's class) and before
+    // rm_blackhole, so a plan mixing overload and feedback loss groups
+    // by the resource-exhaustion pressure that actually sheds cells.
+    std::size_t overload_events = 0;
+    for (const fault::FaultEvent& e : plan->events) {
+      if (e.kind == fault::FaultEvent::Kind::kMemSqueeze ||
+          e.kind == fault::FaultEvent::Kind::kVcStorm) {
+        ++overload_events;
+      }
+    }
+    if (overload_events > 0) {
+      return std::string{to_string(r.verdict)} + "|overload|" +
+             std::to_string(overload_events);
+    }
     std::size_t blackholes = 0;
     for (const fault::FaultEvent& e : plan->events) {
       if (e.kind == fault::FaultEvent::Kind::kRmBlackhole) ++blackholes;

@@ -1,10 +1,17 @@
 #include "fault/fault_injector.h"
 
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
 namespace phantom::fault {
 namespace {
+
+std::string format_fraction(double f) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", f);
+  return buf;
+}
 
 void check_index(std::size_t index, std::size_t count, const char* what) {
   if (index >= count) {
@@ -91,6 +98,30 @@ void FaultInjector::validate(const FaultEvent& e) const {
     case K::kMisbehave:
     case K::kComply:
       check_session_live(e.target.index, "at plan load");
+      break;
+    case K::kMemSqueeze:
+      if (!net_->overload_protection_enabled()) {
+        throw std::invalid_argument{
+            "fault plan: memsqueeze requires overload protection "
+            "(enable_overload_protection / --overload)"};
+      }
+      if (e.duration.is_negative()) {
+        throw std::invalid_argument{"fault plan: negative duration"};
+      }
+      break;
+    case K::kVcStorm:
+      if (!net_->overload_protection_enabled()) {
+        throw std::invalid_argument{
+            "fault plan: vcstorm requires overload protection "
+            "(enable_overload_protection / --overload)"};
+      }
+      if (net_->num_sessions() == 0) {
+        throw std::invalid_argument{
+            "fault plan: vcstorm needs an existing session 0 to clone"};
+      }
+      if (e.duration.is_negative()) {
+        throw std::invalid_argument{"fault plan: negative duration"};
+      }
       break;
     case K::kCustom:
       if (!e.action) throw std::invalid_argument{"custom fault: null action"};
@@ -283,6 +314,58 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
         net_->set_session_behavior(s, atm::SourceBehavior::kCompliant);
         record("session " + std::to_string(s) + " returns to compliance");
       });
+      break;
+    }
+    case K::kMemSqueeze: {
+      const double frac = e.mem_frac;
+      arm(e.at, [this, frac] {
+        net_->squeeze_buffers(frac);
+        record("memory squeeze begins (budgets at " + format_fraction(frac) +
+               " of configured)");
+      });
+      if (!e.duration.is_zero()) {
+        arm(e.at + e.duration, [this] {
+          net_->squeeze_buffers(1.0);
+          record("memory squeeze ends (budgets restored)");
+        });
+      }
+      break;
+    }
+    case K::kVcStorm: {
+      const int n = e.storm_sessions;
+      // The storm's admitted-session list only exists once the setup
+      // burst has fired; the teardown closure shares it via shared_ptr.
+      auto admitted = std::make_shared<std::vector<std::size_t>>();
+      arm(e.at, [this, n, admitted] {
+        check_session_live(0, "at vcstorm activation");
+        const topo::AbrNetwork::SessionShape shape = net_->session_shape(0);
+        const atm::AbrParams params = net_->source(0).params();
+        int refused = 0;
+        for (int k = 0; k < n; ++k) {
+          const auto outcome =
+              net_->try_add_session(shape.ingress, shape.path, shape.dest,
+                                    params);
+          if (outcome.admitted) {
+            admitted->push_back(outcome.session);
+            net_->source(outcome.session).start(sim_->now());
+          } else {
+            ++refused;
+          }
+        }
+        record("vc storm offers " + std::to_string(n) + " setups (" +
+               std::to_string(admitted->size()) + " admitted, " +
+               std::to_string(refused) + " refused)");
+      });
+      if (!e.duration.is_zero()) {
+        arm(e.at + e.duration, [this, admitted] {
+          for (const std::size_t s : *admitted) {
+            net_->source(s).set_active(false);
+            net_->teardown_session_state(s);
+          }
+          record("vc storm ends (" + std::to_string(admitted->size()) +
+                 " storm sessions torn down)");
+        });
+      }
       break;
     }
     case K::kCustom: {

@@ -20,6 +20,8 @@ namespace {
     case FaultEvent::Kind::kJoin:    return "join";
     case FaultEvent::Kind::kMisbehave: return "misbehave";
     case FaultEvent::Kind::kComply:  return "comply";
+    case FaultEvent::Kind::kMemSqueeze: return "memsqueeze";
+    case FaultEvent::Kind::kVcStorm: return "vcstorm";
     case FaultEvent::Kind::kCustom:  return "custom";
   }
   return "?";
@@ -162,6 +164,7 @@ bool operator==(const FaultEvent& a, const FaultEvent& b) {
          a.loss_bad == b.loss_bad && a.rm_loss == b.rm_loss &&
          a.rm_corrupt == b.rm_corrupt && a.warm == b.warm &&
          a.mode == b.mode && a.compliance == b.compliance &&
+         a.mem_frac == b.mem_frac && a.storm_sessions == b.storm_sessions &&
          a.label == b.label;
 }
 
@@ -202,6 +205,15 @@ std::string FaultEvent::to_spec() const {
                                               : std::string{});
     case Kind::kComply:
       return "comply:" + std::to_string(target.index) + ':' + format_ms(at);
+    case Kind::kMemSqueeze:
+      // Network-wide: no target field. A zero duration (squeeze holds
+      // for the rest of the run) takes the shortest spelling.
+      return "memsqueeze:" + format_ms(at) + ':' + format_num(mem_frac) +
+             (duration.is_zero() ? std::string{} : ':' + format_ms(duration));
+    case Kind::kVcStorm:
+      return "vcstorm:" + format_ms(at) + ':' +
+             std::to_string(storm_sessions) +
+             (duration.is_zero() ? std::string{} : ':' + format_ms(duration));
     case Kind::kCustom:
       throw std::logic_error{
           "fault plan: custom event '" + label +
@@ -215,6 +227,8 @@ std::string FaultEvent::describe() const {
   out << kind_name(kind);
   if (kind == Kind::kCustom) {
     if (!label.empty()) out << ':' << label;
+  } else if (kind == Kind::kMemSqueeze || kind == Kind::kVcStorm) {
+    out << ":network";  // resource faults hit every switch at once
   } else {
     out << ':' << target.to_string();
   }
@@ -240,6 +254,14 @@ std::string FaultEvent::describe() const {
       out << " (" << fault::to_string(mode);
       if (mode == MisbehaveMode::kPartial) out << " compliance=" << compliance;
       out << ')';
+      break;
+    case Kind::kMemSqueeze:
+      out << " (budget x" << format_num(mem_frac) << ')';
+      if (!duration.is_zero()) out << " for " << duration.to_string();
+      break;
+    case Kind::kVcStorm:
+      out << " (" << storm_sessions << " setups)";
+      if (!duration.is_zero()) out << " for " << duration.to_string();
       break;
     default:
       break;
@@ -371,6 +393,35 @@ FaultPlan& FaultPlan::comply(std::size_t session_index, sim::Time at) {
   return *this;
 }
 
+FaultPlan& FaultPlan::memsqueeze(sim::Time at, double fraction,
+                                 sim::Time duration) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument{
+        "memsqueeze: budget fraction must be in (0,1]"};
+  }
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kMemSqueeze;
+  e.at = at;
+  e.duration = duration;
+  e.mem_frac = fraction;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::vcstorm(sim::Time at, int sessions,
+                              sim::Time duration) {
+  if (sessions < 1) {
+    throw std::invalid_argument{"vcstorm: session count must be >= 1"};
+  }
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kVcStorm;
+  e.at = at;
+  e.duration = duration;
+  e.storm_sessions = sessions;
+  events.push_back(std::move(e));
+  return *this;
+}
+
 FaultPlan& FaultPlan::custom(sim::Time at, std::function<void()> action,
                              std::string label) {
   if (!action) throw std::invalid_argument{"custom fault: null action"};
@@ -398,6 +449,8 @@ sim::Time FaultPlan::last_recovery_time() const {
       case FaultEvent::Kind::kBurst:
       case FaultEvent::Kind::kRmFault:
       case FaultEvent::Kind::kRmBlackhole:
+      case FaultEvent::Kind::kMemSqueeze:
+      case FaultEvent::Kind::kVcStorm:
         end = e.at + e.duration;
         break;
       case FaultEvent::Kind::kFlap:
@@ -421,6 +474,26 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     if (item.empty()) continue;
     try {
       plan.parse_event(item);
+      // Duplicate rejection: two events of the same kind on the same
+      // entity at the same instant can only be a typo (or a generator
+      // bug) — the injector would apply one of them twice.
+      const FaultEvent& added = plan.events.back();
+      for (std::size_t i = 0; i + 1 < plan.events.size(); ++i) {
+        const FaultEvent& prev = plan.events[i];
+        if (prev.kind == added.kind && prev.target == added.target &&
+            prev.at == added.at) {
+          // memsqueeze/vcstorm act network-wide; naming their (unused)
+          // default target would point the user at a trunk that plays
+          // no part in the clash.
+          const bool network_wide = added.kind == FaultEvent::Kind::kMemSqueeze ||
+                                    added.kind == FaultEvent::Kind::kVcStorm;
+          throw std::invalid_argument{
+              "fault plan: duplicate " + kind_name(added.kind) + " event" +
+              (network_wide ? "" : " on " + added.target.to_string()) +
+              " at " + format_ms(added.at) + "ms (first occurrence is event " +
+              std::to_string(i + 1) + ")"};
+        }
+      }
     } catch (const std::invalid_argument& e) {
       throw std::invalid_argument{std::string{e.what()} + " in event " +
                                   std::to_string(index) + " (\"" + item +
@@ -502,6 +575,26 @@ void FaultPlan::parse_event(const std::string& item) {
                      parse_mode(f[3]),
                      f.size() == 5 ? parse_probability(f[4], "compliance")
                                    : 0.0);
+    } else if (kind == "memsqueeze") {
+      expect_fields(f, 3, 4, kind);
+      const double frac = parse_number(f[2], "budget fraction");
+      if (frac <= 0.0 || frac > 1.0) {
+        throw std::invalid_argument{
+            "fault plan: budget fraction must be in (0,1]"};
+      }
+      plan.memsqueeze(parse_ms(f[1], "time"), frac,
+                      f.size() == 4 ? parse_ms(f[3], "duration")
+                                    : sim::Time::zero());
+    } else if (kind == "vcstorm") {
+      expect_fields(f, 3, 4, kind);
+      const double n = parse_number(f[2], "session count");
+      if (n < 1 || n != static_cast<int>(n)) {
+        throw std::invalid_argument{"fault plan: bad session count '" + f[2] +
+                                    "'"};
+      }
+      plan.vcstorm(parse_ms(f[1], "time"), static_cast<int>(n),
+                   f.size() == 4 ? parse_ms(f[3], "duration")
+                                 : sim::Time::zero());
     } else {
       throw std::invalid_argument{"fault plan: unknown event kind '" + kind +
                                   "'"};

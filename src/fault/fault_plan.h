@@ -62,6 +62,12 @@ struct FaultEvent {
     kJoin,       ///< (re)activate an ABR session at `at`
     kMisbehave,  ///< session defects from the feedback protocol at `at`
     kComply,     ///< session returns to compliant behaviour at `at`
+    kMemSqueeze,  ///< shrink every switch's cell-memory budget to a
+                  ///< fraction during [at, at + duration) (network-wide;
+                  ///< zero duration = the rest of the run)
+    kVcStorm,     ///< offer `storm_sessions` extra session setups at `at`
+                  ///< (cloning session 0's shape); admitted storm
+                  ///< sessions tear down at `at + duration`
     kCustom,     ///< run an arbitrary callback at `at` (programmatic only)
   };
 
@@ -93,6 +99,10 @@ struct FaultEvent {
   // Misbehaving-source parameters (kMisbehave).
   MisbehaveMode mode = MisbehaveMode::kGreedy;
   double compliance = 0.0;  ///< kPartial only; always 0 otherwise
+
+  // Resource-exhaustion parameters.
+  double mem_frac = 0.0;    ///< kMemSqueeze: remaining budget fraction (0,1]
+  int storm_sessions = 0;   ///< kVcStorm: session setups to offer
 
   /// kCustom hook: arbitrary scripted action (e.g. TCP flow churn, a
   /// demand change) on the same schedule as the built-in faults.
@@ -146,6 +156,19 @@ struct FaultPlan {
                        MisbehaveMode mode, double compliance = 0.0);
   /// Session returns to TM 4.0 behaviour (re-entering at ICR).
   FaultPlan& comply(std::size_t session_index, sim::Time at);
+  /// Every switch's effective cell-memory budget drops to `fraction` of
+  /// its configured size during [at, at + duration); zero duration means
+  /// the squeeze holds for the rest of the run. Requires a network with
+  /// overload protection enabled (the injector validates this).
+  FaultPlan& memsqueeze(sim::Time at, double fraction,
+                        sim::Time duration = sim::Time::zero());
+  /// Offers `sessions` extra session setups at `at`, each cloning
+  /// session 0's shape and parameters — admission control decides which
+  /// get in. Admitted storm sessions start immediately and tear down at
+  /// `at + duration` (zero duration = they stay). Requires overload
+  /// protection.
+  FaultPlan& vcstorm(sim::Time at, int sessions,
+                     sim::Time duration = sim::Time::zero());
   FaultPlan& custom(sim::Time at, std::function<void()> action,
                     std::string label = "custom");
 
@@ -172,8 +195,13 @@ struct FaultPlan {
   ///   join:<session>:<at_ms>
   ///   misbehave:<session>:<at_ms>:<greedy|forge|partial>[:<compliance>]
   ///   comply:<session>:<at_ms>
+  ///   memsqueeze:<at_ms>:<frac>[:<dur_ms>]
+  ///   vcstorm:<at_ms>:<n>[:<dur_ms>]
   ///
   /// Example: "outage:trunk0:250:50;restart:trunk0:450;leave:1:500"
+  ///
+  /// Two events of the same kind, at the same instant, on the same
+  /// target are rejected as duplicates (the position names the repeat).
   ///
   /// Error messages name the offending token, the event's index and its
   /// character position in the spec, e.g.

@@ -31,6 +31,9 @@ void InvariantMonitor::check_now() {
   check_rate_bounds();
   check_stale_rate();
   check_fair_share();
+  check_buffer_budget();
+  check_refusal_monotone();
+  check_mcr_retention();
   last_check_ = sim_->now();
 }
 
@@ -238,6 +241,89 @@ void InvariantMonitor::check_fair_share() {
         << fs_options_.bound << ", " << measured.size() << " sessions)";
     add("fair-share-retention", out.str());
   }
+}
+
+void InvariantMonitor::check_buffer_budget() {
+  for (std::size_t w = 0; w < net_->num_switches(); ++w) {
+    const atm::Switch& sw = net_->node(w);
+    const atm::BufferManager* bm = sw.buffer_manager();
+    if (bm == nullptr) continue;
+    if (!bm->within_budget()) {
+      std::ostringstream out;
+      out << sw.name() << ": " << bm->cells_in_use()
+          << " cells in use exceeds effective budget "
+          << bm->effective_budget() << " (squeeze grace "
+          << bm->grace_cells() << ", level " << to_string(bm->level()) << ")";
+      add("buffer-budget", out.str());
+    }
+  }
+}
+
+void InvariantMonitor::check_refusal_monotone() {
+  if (prev_refused_.size() < net_->num_switches()) {
+    prev_refused_.resize(net_->num_switches(), 0);
+  }
+  for (std::size_t w = 0; w < net_->num_switches(); ++w) {
+    const std::uint64_t refused =
+        net_->node(w).cac_counters().refused_total();
+    if (refused < prev_refused_[w]) {
+      add("refusal-monotonicity",
+          net_->node(w).name() + ": refusal total went backwards (" +
+              std::to_string(prev_refused_[w]) + " -> " +
+              std::to_string(refused) + ")");
+    }
+    prev_refused_[w] = refused;
+  }
+}
+
+void InvariantMonitor::enable_mcr_retention_check(McrRetentionOptions options) {
+  mcr_options_ = std::move(options);
+  if (mcr_options_.sessions.empty()) {
+    for (std::size_t s = 0; s < net_->num_sessions(); ++s) {
+      if (net_->source(s).params().mcr.bits_per_sec() > 0.0) {
+        mcr_options_.sessions.push_back(s);
+      }
+    }
+  }
+  mcr_prev_delivered_.clear();
+  for (const std::size_t s : mcr_options_.sessions) {
+    mcr_prev_delivered_.push_back(net_->delivered_cells(s));
+  }
+  mcr_last_sample_ = sim_->now();
+  mcr_enabled_ = true;
+}
+
+void InvariantMonitor::check_mcr_retention() {
+  if (!mcr_enabled_) return;
+  const sim::Time now = sim_->now();
+  const sim::Time elapsed = now - mcr_last_sample_;
+  if (elapsed < mcr_options_.window) return;
+
+  for (std::size_t i = 0; i < mcr_options_.sessions.size(); ++i) {
+    const std::size_t s = mcr_options_.sessions[i];
+    const std::uint64_t delivered = net_->delivered_cells(s);
+    const std::uint64_t delta = delivered - mcr_prev_delivered_[i];
+    mcr_prev_delivered_[i] = delivered;
+    const atm::AbrSource& src = net_->source(s);
+    const double mcr = src.params().mcr.bits_per_sec();
+    // An inactive session delivers nothing by design; a zero-MCR
+    // session has no contracted minimum to retain.
+    if (!src.active() || mcr <= 0.0) continue;
+    // delivered_cells counts data cells only; every Nrm-th cell of the
+    // allocation is an FRM, so scale goodput back up to wire rate.
+    const double rm_overhead = static_cast<double>(src.params().nrm) /
+                               static_cast<double>(src.params().nrm - 1);
+    const double goodput = static_cast<double>(delta) * atm::kCellBits *
+                           rm_overhead / elapsed.seconds();
+    if (goodput < mcr_options_.bound * mcr) {
+      std::ostringstream out;
+      out << "session " << s << ": goodput " << goodput
+          << " b/s below " << mcr_options_.bound << " x MCR (" << mcr
+          << " b/s) over " << elapsed.to_string();
+      add("mcr-retention", out.str());
+    }
+  }
+  mcr_last_sample_ = now;
 }
 
 }  // namespace phantom::fault

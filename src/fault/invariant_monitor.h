@@ -43,6 +43,13 @@ struct InvariantViolation {
 ///    transmitting at a rate the network never recently granted — the
 ///    failure mode the feedback-loss backoff exists to prevent, and
 ///    exactly what the --no-feedback-decay ablation exhibits;
+///  * buffer budget — on switches with bounded cell memory, occupancy
+///    never exceeds the effective budget (modulo the squeeze grace:
+///    cells already resident when a memsqueeze lands drain, they are
+///    not teleported away — the grace shrinks monotonically until the
+///    budget holds);
+///  * refusal monotonicity — CAC per-switch refusal totals only ever
+///    grow (a squeeze must not "un-refuse" an earlier setup);
 ///  * time monotonicity — the simulation clock never runs backwards
 ///    between checks.
 ///
@@ -84,6 +91,24 @@ class InvariantMonitor {
   /// the first window otherwise includes the convergence transient.
   void enable_fair_share_check(FairShareOptions options);
 
+  /// Configuration for the opt-in MCR-retention check (the overload
+  /// guarantee: degradation sheds elastic traffic, never an admitted
+  /// VC's contracted minimum).
+  struct McrRetentionOptions {
+    /// Minimum acceptable per-window goodput as a fraction of MCR.
+    double bound = 0.95;
+    /// Goodput measurement window.
+    sim::Time window = sim::Time::ms(50);
+    /// Which sessions to watch. Empty = every session that exists at
+    /// enable time with MCR > 0 (sessions admitted later, e.g. by a VC
+    /// storm, are not auto-enrolled).
+    std::vector<std::size_t> sessions;
+  };
+
+  /// Turns on the MCR-retention check. Like the fair-share check,
+  /// sampling starts at the call time — enable after warm-up.
+  void enable_mcr_retention_check(McrRetentionOptions options);
+
   /// Runs every check immediately (also happens on the periodic tick).
   void check_now();
 
@@ -100,6 +125,9 @@ class InvariantMonitor {
   void check_stale_rate();
   void check_time_monotonic();
   void check_fair_share();
+  void check_buffer_budget();
+  void check_refusal_monotone();
+  void check_mcr_retention();
   void add(const char* invariant, std::string detail);
 
   sim::Simulator* sim_;
@@ -113,6 +141,13 @@ class InvariantMonitor {
   FairShareOptions fs_options_;
   sim::Time fs_last_sample_ = sim::Time::zero();
   std::vector<std::uint64_t> fs_prev_delivered_;  // parallel to sessions
+
+  bool mcr_enabled_ = false;
+  McrRetentionOptions mcr_options_;
+  sim::Time mcr_last_sample_ = sim::Time::zero();
+  std::vector<std::uint64_t> mcr_prev_delivered_;  // parallel to sessions
+
+  std::vector<std::uint64_t> prev_refused_;  // per switch, grows on demand
 };
 
 }  // namespace phantom::fault

@@ -126,10 +126,161 @@ AbrNetwork::SessionId AbrNetwork::add_session(SwitchId ingress,
   }
   switches_[cursor]->route_vc(vc, dests_[dest].port, backward);
 
+  if (overload_) {
+    // Book the session's MCR on every hop (idempotent: a session that
+    // came through try_add_session is already booked). Plain
+    // add_session after arming bypasses the admission *judgment* — the
+    // caller said so by not using try_add_session — but never the
+    // *bookkeeping*, or later admissions would see phantom headroom.
+    for (const auto& [sw, port] : session_hops(ingress, path, dest)) {
+      switches_[sw]->force_admit_vc(vc, params.mcr, port);
+    }
+  }
+
   sources_.push_back(std::move(source));
   sessions_.push_back(Session{ingress, path, dest, vc});
   session_demand_bps_.push_back(std::numeric_limits<double>::infinity());
   return sources_.size() - 1;
+}
+
+std::vector<std::pair<AbrNetwork::SwitchId, std::size_t>>
+AbrNetwork::session_hops(SwitchId ingress, const std::vector<TrunkId>& path,
+                         DestId dest) const {
+  std::vector<std::pair<SwitchId, std::size_t>> hops;
+  SwitchId cursor = ingress;
+  for (const TrunkId t : path) {
+    hops.emplace_back(cursor, trunks_[t].forward_port);
+    cursor = trunks_[t].to;
+  }
+  hops.emplace_back(cursor, dests_[dest].port);
+  return hops;
+}
+
+void AbrNetwork::enable_overload_protection(OverloadOptions options) {
+  options.buffer.validate();
+  options.cac.validate();
+  overload_options_ = options;
+  overload_ = true;
+  for (const auto& sw : switches_) {
+    sw->enable_buffer_management(options.buffer);
+    sw->enable_admission_control(options.cac);
+  }
+  // Grandfather what already exists: arming the armor must not orphan
+  // contracts the network accepted while unarmed.
+  for (std::size_t s = 0; s < sessions_.size(); ++s) {
+    const Session& sess = sessions_[s];
+    const sim::Rate mcr = sources_[s]->params().mcr;
+    for (const auto& [sw, port] :
+         session_hops(sess.ingress, sess.path, sess.dest)) {
+      switches_[sw]->force_admit_vc(sess.vc, mcr, port);
+    }
+  }
+}
+
+AbrNetwork::AdmissionOutcome AbrNetwork::try_add_session(
+    SwitchId ingress, const std::vector<TrunkId>& path, DestId dest,
+    atm::AbrParams params, sim::Time access_delay) {
+  validate_path(ingress, path, dest);
+  params.validate();
+  AdmissionOutcome outcome;
+  if (overload_) {
+    // Every hop must say yes before anything is built; the VC id the
+    // session *would* get keys the bookings so an admitted setup flows
+    // straight into add_session below.
+    const int vc = next_vc_;
+    const auto hops = session_hops(ingress, path, dest);
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      const atm::AdmitVerdict verdict =
+          switches_[hops[i].first]->admit_vc(vc, params.mcr, hops[i].second);
+      if (verdict != atm::AdmitVerdict::kAdmitted) {
+        for (std::size_t j = 0; j < i; ++j) {
+          switches_[hops[j].first]->cancel_admission(vc);
+        }
+        outcome.admitted = false;
+        outcome.verdict = verdict;
+        outcome.refused_at = hops[i].first;
+        return outcome;
+      }
+    }
+  }
+  outcome.admitted = true;
+  outcome.verdict = atm::AdmitVerdict::kAdmitted;
+  outcome.session = add_session(ingress, path, dest, params, access_delay);
+  return outcome;
+}
+
+AbrNetwork::SessionShape AbrNetwork::session_shape(SessionId s) const {
+  const Session& sess = sessions_.at(s);
+  return SessionShape{sess.ingress, sess.path, sess.dest};
+}
+
+std::uint64_t AbrNetwork::delivered_frames(SessionId s) const {
+  const Session& sess = sessions_.at(s);
+  return dests_[sess.dest].endpoint->frames_good(sess.vc);
+}
+
+void AbrNetwork::squeeze_buffers(double fraction) {
+  for (const auto& sw : switches_) {
+    if (atm::BufferManager* bm = sw->buffer_manager()) bm->squeeze(fraction);
+  }
+}
+
+atm::CacCounters AbrNetwork::cac_totals() const {
+  atm::CacCounters total;
+  for (const auto& sw : switches_) {
+    const atm::CacCounters& c = sw->cac_counters();
+    total.admitted += c.admitted;
+    total.refused_vc_limit += c.refused_vc_limit;
+    total.refused_mcr_budget += c.refused_mcr_budget;
+    total.refused_buffer += c.refused_buffer;
+    total.refused_pressure += c.refused_pressure;
+  }
+  return total;
+}
+
+std::uint64_t AbrNetwork::epd_frames_discarded() const {
+  std::uint64_t n = 0;
+  for (const auto& sw : switches_) {
+    if (const atm::BufferManager* bm = sw->buffer_manager())
+      n += bm->frames_epd_discarded();
+  }
+  return n;
+}
+
+std::uint64_t AbrNetwork::cells_ppd_discarded() const {
+  std::uint64_t n = 0;
+  for (const auto& sw : switches_) {
+    if (const atm::BufferManager* bm = sw->buffer_manager())
+      n += bm->cells_ppd_discarded();
+  }
+  return n;
+}
+
+std::uint64_t AbrNetwork::cells_shed() const {
+  std::uint64_t n = 0;
+  for (const auto& sw : switches_) {
+    if (const atm::BufferManager* bm = sw->buffer_manager())
+      n += bm->cells_shed();
+  }
+  return n;
+}
+
+std::uint64_t AbrNetwork::buffer_overflow_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& sw : switches_) {
+    if (const atm::BufferManager* bm = sw->buffer_manager())
+      n += bm->cells_overflow_dropped();
+  }
+  return n;
+}
+
+std::size_t AbrNetwork::buffer_cells_in_use() const {
+  std::size_t n = 0;
+  for (const auto& sw : switches_) {
+    if (const atm::BufferManager* bm = sw->buffer_manager())
+      n += bm->cells_in_use();
+  }
+  return n;
 }
 
 void AbrNetwork::set_session_demand(SessionId s, sim::Rate demand) {

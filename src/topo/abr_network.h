@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "atm/abr_destination.h"
@@ -25,6 +26,14 @@ namespace phantom::topo {
 /// given capacity.
 using ControllerFactory = std::function<std::unique_ptr<atm::PortController>(
     sim::Simulator&, sim::Rate)>;
+
+/// Overload armor for the whole network: every switch gets a bounded
+/// cell memory (BufferManager) and Connection Admission Control with
+/// one shared configuration.
+struct OverloadOptions {
+  atm::BufferConfig buffer;
+  atm::CacConfig cac;
+};
 
 struct TrunkOptions {
   sim::Rate rate = sim::Rate::mbps(150);
@@ -173,6 +182,66 @@ class AbrNetwork {
   [[nodiscard]] std::vector<sim::Rate> reference_rates(
       bool phantom_per_link, double utilization) const;
 
+  // --- Overload protection (bounded memory + admission control) ---
+
+  /// Arms every switch with a bounded cell memory and CAC (shared
+  /// config), and grandfathers the sessions that already exist: their
+  /// MCRs are booked (and buffer-protected) without being re-judged —
+  /// an armed switch must not retroactively orphan contracts it already
+  /// accepted. Call before traffic flows; ports refuse to join a budget
+  /// with cells already queued.
+  void enable_overload_protection(OverloadOptions options = {});
+  [[nodiscard]] bool overload_protection_enabled() const { return overload_; }
+
+  /// The admission outcome of try_add_session.
+  struct AdmissionOutcome {
+    bool admitted = false;
+    /// First refusal reason along the path (kAdmitted when admitted).
+    atm::AdmitVerdict verdict = atm::AdmitVerdict::kAdmitted;
+    /// Switch that refused (meaningful only when !admitted).
+    SwitchId refused_at = 0;
+    /// The created session (meaningful only when admitted).
+    SessionId session = 0;
+  };
+
+  /// add_session with admission control: every switch along the path
+  /// must admit the VC (MCR booking, buffer headroom, VC table,
+  /// pressure) before any state is built. A refusal at hop k rolls back
+  /// the bookings at hops 0..k-1 and builds nothing. With overload
+  /// protection off, this is exactly add_session.
+  AdmissionOutcome try_add_session(SwitchId ingress,
+                                   const std::vector<TrunkId>& path,
+                                   DestId dest, atm::AbrParams params = {},
+                                   sim::Time access_delay = sim::Time::us(2));
+
+  /// Ingress/path/destination of an existing session — what a VC-storm
+  /// fault clones to offer the network more of the same load.
+  struct SessionShape {
+    SwitchId ingress;
+    std::vector<TrunkId> path;
+    DestId dest;
+  };
+  [[nodiscard]] SessionShape session_shape(SessionId s) const;
+
+  /// Complete AAL5 frames delivered for session `s` (frame-level
+  /// goodput; see AbrDestination frame accounting).
+  [[nodiscard]] std::uint64_t delivered_frames(SessionId s) const;
+
+  /// The memsqueeze fault: shrink every switch's effective buffer
+  /// budget to `fraction` of its configured size (1.0 restores).
+  void squeeze_buffers(double fraction);
+
+  /// CAC counters summed over all switches (a session crossing k armed
+  /// switches counts up to k admissions; a refusal counts once, at the
+  /// switch that refused).
+  [[nodiscard]] atm::CacCounters cac_totals() const;
+  /// Buffer-manager discard counters summed over all switches.
+  [[nodiscard]] std::uint64_t epd_frames_discarded() const;
+  [[nodiscard]] std::uint64_t cells_ppd_discarded() const;
+  [[nodiscard]] std::uint64_t cells_shed() const;
+  [[nodiscard]] std::uint64_t buffer_overflow_drops() const;
+  [[nodiscard]] std::size_t buffer_cells_in_use() const;
+
  private:
   struct Trunk {
     SwitchId from;
@@ -217,6 +286,9 @@ class AbrNetwork {
                            atm::QueueDiscipline::kFifo);
   void validate_path(SwitchId ingress, const std::vector<TrunkId>& path,
                      DestId dest) const;
+  /// (switch, forward port) per hop, ingress first, egress last.
+  [[nodiscard]] std::vector<std::pair<SwitchId, std::size_t>> session_hops(
+      SwitchId ingress, const std::vector<TrunkId>& path, DestId dest) const;
 
   sim::Simulator* sim_;
   ControllerFactory factory_;
@@ -228,6 +300,8 @@ class AbrNetwork {
   std::vector<std::unique_ptr<atm::CbrSource>> cbr_sources_;
   std::vector<CbrSession> cbr_sessions_;
   int next_vc_ = 0;
+  bool overload_ = false;
+  OverloadOptions overload_options_;
 };
 
 }  // namespace phantom::topo

@@ -5,6 +5,8 @@
 #include <signal.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -165,6 +167,67 @@ TEST(SupervisorTest, ResumeSkipsCompletedTrialsAndRejectsMismatch) {
   chaos::SearchOptions other = opt;
   other.seed = 10;
   EXPECT_THROW((void)chaos::run_search(spec, other), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// A crash mid-append leaves a torn final JSONL row. Resume must drop
+// the partial row with a warning, keep every intact row, and re-run
+// only the trial whose row was lost — ending with the same report as
+// an uninterrupted search.
+TEST(SupervisorTest, ResumeDropsTruncatedTrailingCheckpointRow) {
+  const auto spec = smoke_spec();
+  const std::string path =
+      ::testing::TempDir() + "phantom_chaos_torn_row_test.jsonl";
+  std::remove(path.c_str());
+
+  chaos::SearchOptions opt;
+  opt.trials = 5;
+  opt.seed = 9;
+  opt.isolate = true;
+  opt.checkpoint = path;
+  const auto first = chaos::run_search(spec, opt);
+  EXPECT_EQ(first.trials_run, 5);
+
+  // Tear the last row in half, as a crash between write and flush would.
+  std::string contents;
+  {
+    std::ifstream in{path, std::ios::binary};
+    std::stringstream ss;
+    ss << in.rdbuf();
+    contents = ss.str();
+  }
+  ASSERT_FALSE(contents.empty());
+  ASSERT_EQ(contents.back(), '\n');
+  const auto last_line = contents.rfind('\n', contents.size() - 2) + 1;
+  const std::size_t row_len = contents.size() - last_line;
+  ASSERT_GT(row_len, 2u);
+  contents.resize(last_line + row_len / 2);
+  {
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    out << contents;
+  }
+
+  ::testing::internal::CaptureStderr();
+  const auto second = chaos::run_search(spec, opt);
+  const std::string warning = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(second.resumed, 4) << "intact rows must all resume";
+  EXPECT_EQ(second.trials_run, 5) << "the torn trial must re-run";
+  EXPECT_EQ(first.to_json(), second.to_json());
+  EXPECT_NE(warning.find("unparseable row"), std::string::npos) << warning;
+  EXPECT_NE(warning.find("line 6"), std::string::npos) << warning;
+
+  // A trailing row of outright garbage gets the same treatment.
+  {
+    std::ofstream out{path, std::ios::binary | std::ios::app};
+    out << "{\"trial\": not json at all\n";
+  }
+  ::testing::internal::CaptureStderr();
+  const auto third = chaos::run_search(spec, opt);
+  const std::string garbage_warning = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(third.resumed, 5);
+  EXPECT_EQ(first.to_json(), third.to_json());
+  EXPECT_NE(garbage_warning.find("unparseable row"), std::string::npos)
+      << garbage_warning;
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,340 @@
+// Connection Admission Control and the resource-exhaustion fault
+// grammar: per-reason refusals, multi-hop rollback, grandfathering,
+// memsqueeze/vcstorm plan round-trips and injector validation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "exp/factories.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "fault/invariant_monitor.h"
+#include "sim/simulator.h"
+#include "topo/abr_network.h"
+
+namespace phantom {
+namespace {
+
+using sim::Rate;
+using sim::Time;
+using topo::AbrNetwork;
+using topo::OverloadOptions;
+
+atm::AbrParams with_mcr(double mbps) {
+  atm::AbrParams p;
+  p.mcr = Rate::mbps(mbps);
+  return p;
+}
+
+TEST(CacTest, RefusesWhenMcrBookingWouldOverrunTheLink) {
+  sim::Simulator sim{1};
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw);  // 150 Mb/s
+  net.enable_overload_protection({});         // bookable: 0.9 * 150 = 135
+
+  EXPECT_TRUE(net.try_add_session(sw, {}, dest, with_mcr(60)).admitted);
+  EXPECT_TRUE(net.try_add_session(sw, {}, dest, with_mcr(60)).admitted);
+
+  const auto refused = net.try_add_session(sw, {}, dest, with_mcr(60));
+  EXPECT_FALSE(refused.admitted);
+  EXPECT_EQ(refused.verdict, atm::AdmitVerdict::kRefusedMcrBudget);
+  EXPECT_EQ(refused.refused_at, sw);
+  EXPECT_EQ(net.num_sessions(), 2u) << "a refused setup builds nothing";
+
+  // A zero-MCR session books nothing and still gets in.
+  EXPECT_TRUE(net.try_add_session(sw, {}, dest, with_mcr(0)).admitted);
+
+  const auto totals = net.cac_totals();
+  EXPECT_EQ(totals.admitted, 3u);
+  EXPECT_EQ(totals.refused_mcr_budget, 1u);
+  EXPECT_EQ(totals.refused_total(), 1u);
+}
+
+TEST(CacTest, RefusesWhenBufferHeadroomRunsOut) {
+  sim::Simulator sim{1};
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw);
+  OverloadOptions oo;
+  oo.buffer.budget_cells = 128;
+  oo.cac.per_vc_buffer_cells = 64;  // headroom for exactly two VCs
+  net.enable_overload_protection(oo);
+
+  EXPECT_TRUE(net.try_add_session(sw, {}, dest).admitted);
+  EXPECT_TRUE(net.try_add_session(sw, {}, dest).admitted);
+  const auto refused = net.try_add_session(sw, {}, dest);
+  EXPECT_FALSE(refused.admitted);
+  EXPECT_EQ(refused.verdict, atm::AdmitVerdict::kRefusedBufferHeadroom);
+  EXPECT_EQ(net.cac_totals().refused_buffer, 1u);
+}
+
+TEST(CacTest, RefusesAtTheVcTableBound) {
+  sim::Simulator sim{1};
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw);
+  OverloadOptions oo;
+  oo.cac.max_vcs = 2;
+  net.enable_overload_protection(oo);
+
+  EXPECT_TRUE(net.try_add_session(sw, {}, dest).admitted);
+  EXPECT_TRUE(net.try_add_session(sw, {}, dest).admitted);
+  const auto refused = net.try_add_session(sw, {}, dest);
+  EXPECT_FALSE(refused.admitted);
+  EXPECT_EQ(refused.verdict, atm::AdmitVerdict::kRefusedVcLimit);
+  EXPECT_EQ(net.cac_totals().refused_vc_limit, 1u);
+}
+
+TEST(CacTest, MultiHopRefusalRollsBackUpstreamBookings) {
+  sim::Simulator sim{1};
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto sw0 = net.add_switch("sw0");
+  const auto sw1 = net.add_switch("sw1");
+  const auto trunk = net.add_trunk(sw0, sw1);
+  const auto dest = net.add_destination(sw1);
+  net.enable_overload_protection({});
+
+  // Fill sw1's destination port to the booking limit with a local
+  // session, so the next multi-hop setup clears sw0 but dies at sw1.
+  ASSERT_TRUE(net.try_add_session(sw1, {}, dest, with_mcr(135)).admitted);
+  const std::size_t sw0_admitted = net.node(sw0).admitted_vcs();
+
+  const auto refused = net.try_add_session(sw0, {trunk}, dest, with_mcr(10));
+  EXPECT_FALSE(refused.admitted);
+  EXPECT_EQ(refused.verdict, atm::AdmitVerdict::kRefusedMcrBudget);
+  EXPECT_EQ(refused.refused_at, sw1);
+  EXPECT_EQ(net.node(sw0).admitted_vcs(), sw0_admitted)
+      << "the first hop's booking must be rolled back";
+  EXPECT_EQ(net.node(sw0).mcr_booked(0).bits_per_sec(), 0)
+      << "no phantom MCR left booked on the trunk port";
+  EXPECT_EQ(net.num_sessions(), 1u);
+}
+
+TEST(CacTest, ArmingGrandfathersExistingSessions) {
+  sim::Simulator sim{1};
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw);
+  // Two sessions predate the armor; their MCRs must be honoured.
+  net.add_session(sw, {}, dest, with_mcr(70));
+  net.add_session(sw, {}, dest, with_mcr(60));
+  net.enable_overload_protection({});
+
+  EXPECT_EQ(net.node(sw).admitted_vcs(), 2u);
+  EXPECT_EQ(net.cac_totals().admitted, 0u)
+      << "grandfathering is bookkeeping, not a judged admission";
+
+  // 130 of 135 Mb/s is already booked: a 10 Mb/s setup must be refused.
+  const auto refused = net.try_add_session(sw, {}, dest, with_mcr(10));
+  EXPECT_FALSE(refused.admitted);
+  EXPECT_EQ(refused.verdict, atm::AdmitVerdict::kRefusedMcrBudget);
+  EXPECT_TRUE(net.try_add_session(sw, {}, dest, with_mcr(5)).admitted);
+}
+
+TEST(CacTest, SqueezeShrinksHeadroomAndRefusalsStayMonotone) {
+  sim::Simulator sim{1};
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw);
+  OverloadOptions oo;
+  oo.buffer.budget_cells = 512;
+  oo.cac.per_vc_buffer_cells = 16;
+  net.enable_overload_protection(oo);
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(net.try_add_session(sw, {}, dest).admitted);
+  }
+
+  // Squeeze to a tenth: 51 effective cells cannot back a fifth VC.
+  net.squeeze_buffers(0.1);
+  const auto refused = net.try_add_session(sw, {}, dest);
+  EXPECT_FALSE(refused.admitted);
+  EXPECT_EQ(refused.verdict, atm::AdmitVerdict::kRefusedBufferHeadroom);
+
+  fault::InvariantMonitor monitor{sim, net};
+  monitor.check_now();  // refusal counters snapshot
+
+  // Restoring the budget re-opens admission without "un-refusing":
+  // counters stay monotone and the monitor agrees.
+  net.squeeze_buffers(1.0);
+  EXPECT_TRUE(net.try_add_session(sw, {}, dest).admitted);
+  EXPECT_EQ(net.cac_totals().refused_buffer, 1u);
+  monitor.check_now();
+  EXPECT_TRUE(monitor.violations().empty());
+}
+
+TEST(CacTest, AdmittedMcrSurvivesOverloadedRun) {
+  sim::Simulator sim{7};
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw);
+  OverloadOptions oo;
+  oo.buffer.budget_cells = 512;
+  net.enable_overload_protection(oo);
+
+  // Offer far more contracted load than the link carries; CAC trims it
+  // to a servable population.
+  atm::AbrParams contracted = with_mcr(12);
+  contracted.frame_cells = 16;
+  int admitted = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (net.try_add_session(sw, {}, dest, contracted).admitted) ++admitted;
+  }
+  EXPECT_GT(admitted, 0);
+  EXPECT_GT(net.cac_totals().refused_total(), 0u);
+
+  fault::InvariantMonitor monitor{sim, net};
+  net.start_all(Time::zero(), Time::zero());
+  sim.run_until(Time::ms(150));
+  monitor.enable_mcr_retention_check({});  // after warm-up
+  sim.run_until(Time::ms(400));
+  monitor.check_now();
+  EXPECT_TRUE(monitor.violations().empty())
+      << monitor.violations().front().invariant << ": "
+      << monitor.violations().front().detail;
+}
+
+// --- memsqueeze / vcstorm grammar and injector validation ---
+
+TEST(OverloadFaultPlanTest, MemsqueezeAndVcstormRoundTripThroughSpec) {
+  fault::FaultPlan plan;
+  plan.memsqueeze(Time::ms(100), 0.35, Time::ms(50))
+      .vcstorm(Time::ms(120), 7, Time::ms(80))
+      .memsqueeze(Time::ms(300), 0.5)
+      .vcstorm(Time::ms(400), 16);
+
+  const std::string spec = plan.to_spec();
+  EXPECT_EQ(spec,
+            "memsqueeze:100:0.35:50;vcstorm:120:7:80;"
+            "memsqueeze:300:0.5;vcstorm:400:16");
+  EXPECT_EQ(fault::FaultPlan::parse(spec), plan);
+}
+
+TEST(OverloadFaultPlanTest, RejectsBadFractionsCountsAndDuplicates) {
+  EXPECT_THROW((void)fault::FaultPlan{}.memsqueeze(Time::ms(1), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)fault::FaultPlan{}.memsqueeze(Time::ms(1), 1.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)fault::FaultPlan{}.vcstorm(Time::ms(1), 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)fault::FaultPlan::parse("memsqueeze:100:1.2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)fault::FaultPlan::parse("vcstorm:100:2.5"),
+               std::invalid_argument);
+
+  // Duplicate rejection names the repeat's position, 1-based.
+  try {
+    (void)fault::FaultPlan::parse("memsqueeze:100:0.5;memsqueeze:100:0.7");
+    FAIL() << "duplicate memsqueeze at the same instant must be rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate memsqueeze"), std::string::npos) << what;
+    EXPECT_NE(what.find("first occurrence is event 1"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("in event 2"), std::string::npos) << what;
+  }
+
+  // Same instant, different target: not a duplicate.
+  EXPECT_NO_THROW(
+      (void)fault::FaultPlan::parse("outage:trunk0:100:50;outage:trunk1:100:50"));
+  // Same kind+target+instant with different parameters still is.
+  EXPECT_THROW(
+      (void)fault::FaultPlan::parse("outage:trunk0:100:50;outage:trunk0:100:60"),
+      std::invalid_argument);
+}
+
+TEST(OverloadFaultPlanTest, InjectorDemandsOverloadProtection) {
+  sim::Simulator sim{1};
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw);
+  net.add_session(sw, {}, dest);
+
+  fault::FaultInjector injector{sim, net};
+  fault::FaultPlan squeeze;
+  squeeze.memsqueeze(Time::ms(10), 0.5);
+  EXPECT_THROW(injector.apply(squeeze), std::invalid_argument)
+      << "memsqueeze without a bounded buffer is meaningless";
+
+  net.enable_overload_protection({});
+  EXPECT_NO_THROW(injector.apply(squeeze));
+}
+
+TEST(OverloadFaultPlanTest, VcstormNeedsASessionToClone) {
+  sim::Simulator sim{1};
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto sw = net.add_switch("sw");
+  (void)net.add_destination(sw);
+  net.enable_overload_protection({});
+
+  fault::FaultInjector injector{sim, net};
+  fault::FaultPlan storm;
+  storm.vcstorm(Time::ms(10), 4);
+  EXPECT_THROW(injector.apply(storm), std::invalid_argument);
+}
+
+TEST(OverloadFaultPlanTest, MemsqueezeWindowSqueezesAndRestores) {
+  sim::Simulator sim{1};
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw);
+  net.add_session(sw, {}, dest);
+  OverloadOptions oo;
+  oo.buffer.budget_cells = 1000;
+  net.enable_overload_protection(oo);
+
+  fault::FaultInjector injector{sim, net};
+  injector.apply(fault::FaultPlan{}.memsqueeze(Time::ms(10), 0.25,
+                                               Time::ms(20)));
+  const auto* bm = net.node(sw).buffer_manager();
+  ASSERT_NE(bm, nullptr);
+
+  sim.run_until(Time::ms(15));
+  EXPECT_EQ(bm->effective_budget(), 250u);
+  sim.run_until(Time::ms(35));
+  EXPECT_EQ(bm->effective_budget(), 1000u);
+  ASSERT_EQ(injector.log().size(), 2u);
+  EXPECT_NE(injector.log()[0].description.find("squeeze begins"),
+            std::string::npos);
+  EXPECT_NE(injector.log()[1].description.find("squeeze ends"),
+            std::string::npos);
+}
+
+TEST(OverloadFaultPlanTest, VcstormOffersAdmitsAndTearsDown) {
+  sim::Simulator sim{3};
+  AbrNetwork net{sim, exp::make_factory(exp::Algorithm::kPhantom)};
+  const auto sw = net.add_switch("sw");
+  const auto dest = net.add_destination(sw);
+  net.add_session(sw, {}, dest, with_mcr(5));
+  OverloadOptions oo;
+  oo.buffer.budget_cells = 256;
+  oo.cac.per_vc_buffer_cells = 32;  // headroom for 8 VCs total
+  net.enable_overload_protection(oo);
+
+  fault::FaultInjector injector{sim, net};
+  injector.apply(fault::FaultPlan{}.vcstorm(Time::ms(50), 20, Time::ms(100)));
+  net.start_all(Time::zero(), Time::zero());
+
+  sim.run_until(Time::ms(60));
+  EXPECT_GT(net.num_sessions(), 1u) << "some storm setups must get in";
+  EXPECT_LE(net.num_sessions(), 8u) << "headroom bounds the storm";
+  EXPECT_GT(net.cac_totals().refused_total(), 0u);
+  ASSERT_FALSE(injector.log().empty());
+  EXPECT_NE(injector.log().front().description.find("vc storm offers 20"),
+            std::string::npos)
+      << injector.log().front().description;
+
+  sim.run_until(Time::ms(200));
+  bool saw_teardown = false;
+  for (const auto& entry : injector.log()) {
+    saw_teardown |=
+        entry.description.find("storm sessions torn down") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_teardown);
+  EXPECT_GT(net.vcs_reaped(), 0u) << "teardown evicts the storm VCs' state";
+}
+
+}  // namespace
+}  // namespace phantom
