@@ -17,6 +17,7 @@
 #include "atm/cell.h"
 #include "core/phantom_controller.h"
 #include "core/residual_filter.h"
+#include "obs/event_log.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 #include "tcp/tcp_sink.h"
@@ -151,6 +152,28 @@ void BM_TcpSinkInOrder(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TcpSinkInOrder);
+
+void BM_EventLogRecord(benchmark::State& state) {
+  // Hot-path cost of structured tracing: one fixed-size struct copy
+  // into the preallocated ring (see obs/event_log.h). In a
+  // PHANTOM_DISABLE_OBS build this measures the compiled-out guard
+  // instead, which should be effectively free.
+  obs::EventLog log{1 << 12};
+  obs::Event e;
+  e.kind = obs::EventKind::kCellEnqueue;
+  e.node = 0;
+  e.port = 0;
+  e.vc = 7;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    e.time = Time::ns(++t);
+    e.a = static_cast<double>(t & 1023);
+    log.record(e);
+  }
+  benchmark::DoNotOptimize(log.recorded());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventLogRecord);
 
 /// Collects per-benchmark results on top of the normal console output
 /// so --json-out can emit the compact machine-readable schema.

@@ -11,6 +11,11 @@
 //               [--crm=N] [--cdf=F] [--adtf=MS] [--no-feedback-decay]
 //               [--overload] [--buffer-cells=N] [--no-epd] [--mcr-mbps=R]
 //               [--perf-report]
+//               [--metrics-out=FILE] [--metrics-interval=MS]
+//               [--trace-out=FILE] [--trace-jsonl=FILE]
+//               [--trace-capacity=N] [--trace-vc=N] [--trace-node=N]
+//               [--trace-port=N] [--trace-category=CAT]
+//               [--metrics-doc]
 //
 // Runs the scenario, prints the per-session goodput table, fairness
 // index and queue statistics, and (with --csv) writes the fair-share
@@ -51,6 +56,21 @@
 // protected by the buffer manager). memsqueeze/vcstorm fault plans
 // require --overload — --validate-only rejects them without it.
 //
+// Observability (ABR scenarios; see docs/OPERATIONS.md and
+// docs/METRICS.md): --metrics-out snapshots every registered metric at
+// the end of the run — one JSON object per snapshot line, or long-format
+// CSV when FILE ends in ".csv". --metrics-interval=MS adds a periodic
+// snapshot every MS simulated milliseconds to the same file.
+// --trace-out writes the structured event log as Chrome trace-event
+// JSON (load it in https://ui.perfetto.dev or chrome://tracing);
+// --trace-jsonl writes it as one JSON object per event, optionally
+// filtered by --trace-vc / --trace-node / --trace-port /
+// --trace-category (cell|rm|policer|admission|fault|controller).
+// --trace-capacity sizes the event ring (default 65536, rounded up to a
+// power of two; once full the oldest events are overwritten).
+// --metrics-doc prints the canonical metric reference (the generated
+// docs/METRICS.md) and exits without running a scenario.
+//
 // --perf-report appends kernel statistics after the scenario report:
 // events executed, wall-clock, events/sec, the peak pending-event count
 // (the event heap's high-water mark) and the inline-callback heap-
@@ -58,6 +78,7 @@
 // kernel's inline buffer (see sim/inline_function.h).
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -70,10 +91,13 @@
 #include "atm/policer.h"
 #include "chaos/scenario.h"
 #include "exp/factories.h"
+#include "exp/metrics_doc.h"
 #include "exp/probes.h"
 #include "exp/report.h"
 #include "fault/fault_injector.h"
 #include "fault/invariant_monitor.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "stats/fairness.h"
 #include "stats/recovery.h"
@@ -111,6 +135,23 @@ struct Args {
   bool epd = true;                   // --no-epd ablation
   double mcr_mbps = 0.0;             // per-session minimum cell rate
   bool perf_report = false;          // kernel statistics after the run
+  std::string metrics_out;           // registry snapshots; ".csv" = CSV
+  double metrics_interval_ms = 0.0;  // 0 = final snapshot only
+  std::string trace_out;             // Chrome trace-event JSON
+  std::string trace_jsonl;           // one JSON object per event
+  long trace_capacity = 1 << 16;     // event ring size (rounded to 2^k)
+  int trace_vc = -1;                 // JSONL filter axes; -1 / "" = all
+  int trace_node = -1;
+  int trace_port = -1;
+  std::string trace_category;
+  bool metrics_doc = false;          // print metric reference and exit
+
+  [[nodiscard]] bool wants_trace() const {
+    return !trace_out.empty() || !trace_jsonl.empty();
+  }
+  [[nodiscard]] bool wants_obs() const {
+    return wants_trace() || !metrics_out.empty();
+  }
 };
 
 /// Kernel statistics for --perf-report. Wall-clock covers simulation
@@ -195,6 +236,10 @@ std::optional<Args> parse(int argc, char** argv) {
       a.epd = false;
       continue;
     }
+    if (arg == "--metrics-doc") {  // bare flag
+      a.metrics_doc = true;
+      continue;
+    }
     const auto eq = arg.find('=');
     if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
       std::fprintf(stderr, "bad argument: %s (want --key=value)\n",
@@ -234,6 +279,15 @@ std::optional<Args> parse(int argc, char** argv) {
         }
       }
       else if (key == "mcr-mbps") a.mcr_mbps = std::stod(val);
+      else if (key == "metrics-out") a.metrics_out = val;
+      else if (key == "metrics-interval") a.metrics_interval_ms = std::stod(val);
+      else if (key == "trace-out") a.trace_out = val;
+      else if (key == "trace-jsonl") a.trace_jsonl = val;
+      else if (key == "trace-capacity") a.trace_capacity = std::stol(val);
+      else if (key == "trace-vc") a.trace_vc = std::stoi(val);
+      else if (key == "trace-node") a.trace_node = std::stoi(val);
+      else if (key == "trace-port") a.trace_port = std::stoi(val);
+      else if (key == "trace-category") a.trace_category = val;
       else {
         std::fprintf(stderr, "unknown option: --%s\n", key.c_str());
         return std::nullopt;
@@ -279,6 +333,33 @@ std::optional<Args> parse(int argc, char** argv) {
     std::fprintf(stderr, "--buffer-cells and --no-epd need --overload\n");
     return std::nullopt;
   }
+  if (a.metrics_interval_ms < 0.0) {
+    std::fprintf(stderr, "--metrics-interval must be >= 0 ms\n");
+    return std::nullopt;
+  }
+  if (a.metrics_interval_ms > 0.0 && a.metrics_out.empty()) {
+    std::fprintf(stderr, "--metrics-interval needs --metrics-out\n");
+    return std::nullopt;
+  }
+  if (a.trace_capacity < 1) {
+    std::fprintf(stderr, "--trace-capacity must be >= 1\n");
+    return std::nullopt;
+  }
+  if ((a.trace_vc >= 0 || a.trace_node >= 0 || a.trace_port >= 0 ||
+       !a.trace_category.empty()) &&
+      a.trace_jsonl.empty()) {
+    std::fprintf(stderr, "--trace-vc/node/port/category filter the\n"
+                         "--trace-jsonl export; pass --trace-jsonl=FILE\n");
+    return std::nullopt;
+  }
+  if (!a.trace_category.empty() &&
+      !obs::category_from_string(a.trace_category)) {
+    std::fprintf(stderr,
+                 "unknown trace category: %s (want "
+                 "cell|rm|policer|admission|fault|controller)\n",
+                 a.trace_category.c_str());
+    return std::nullopt;
+  }
   if (a.validate_only && a.fault_plan.empty()) {
     std::fprintf(stderr, "--validate-only needs --fault-plan\n");
     return std::nullopt;
@@ -296,18 +377,93 @@ std::optional<Args> parse(int argc, char** argv) {
 /// trace time-to-reconvergence is computed from).
 struct FaultHarness {
   FaultHarness(sim::Simulator& sim, topo::AbrNetwork& net,
-               const atm::OutputPort& bottleneck, const fault::FaultPlan& p)
+               const atm::OutputPort& bottleneck, const fault::FaultPlan& p,
+               obs::EventLog* events = nullptr)
       // The plan is applied before the monitor and sampler arm, mirroring
       // chaos::run_trial exactly so chaos-reported schedules replay 1:1.
+      // The event log (may be null) attaches before apply() so the
+      // kFaultArmed records land in the trace.
       : injector{sim, net},
-        monitor{(injector.apply(p), sim), net},
+        monitor{(injector.set_event_log(events), injector.apply(p), sim),
+                net},
         share{sim, bottleneck.controller()},
-        plan{p} {}
+        plan{p} {
+    monitor.set_event_log(events);
+  }
 
   fault::FaultInjector injector;
   fault::InvariantMonitor monitor;
   exp::FairShareSampler share;
   fault::FaultPlan plan;
+};
+
+/// Writes `content` to `path` (binary, whole file). Failing to write a
+/// requested artifact is a hard error, not a warning — an operator
+/// piping --trace-out into a dashboard must not get a silent no-op.
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  if (!out.good()) {
+    std::fprintf(stderr, "error writing %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Writes registry snapshots to the --metrics-out file: a final
+/// snapshot always (finish()), plus one every --metrics-interval
+/// simulated milliseconds when set. A ".csv" path selects long-format
+/// CSV (one header, every snapshot appends rows); any other path gets
+/// one JSON snapshot object per line.
+class MetricsDumper {
+ public:
+  MetricsDumper(sim::Simulator& sim, const obs::Registry& reg,
+                const std::string& path, double interval_ms)
+      : sim_{&sim},
+        reg_{&reg},
+        csv_{path.size() >= 4 &&
+             path.compare(path.size() - 4, 4, ".csv") == 0},
+        out_{path, std::ios::binary} {
+    if (!out_) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    if (csv_) out_ << obs::Registry::csv_header();
+    if (interval_ms > 0.0) {
+      period_ = Time::from_seconds(interval_ms / 1e3);
+      sim_->schedule(period_, [this] { tick(); });
+    }
+  }
+
+  MetricsDumper(const MetricsDumper&) = delete;
+  MetricsDumper& operator=(const MetricsDumper&) = delete;
+
+  [[nodiscard]] bool ok() const { return out_.good(); }
+  void finish() { snapshot(); }
+
+ private:
+  void tick() {
+    snapshot();
+    sim_->schedule(period_, [this] { tick(); });
+  }
+  void snapshot() {
+    if (!out_) return;
+    if (csv_) {
+      out_ << reg_->snapshot_csv(sim_->now());
+    } else {
+      out_ << reg_->snapshot_json(sim_->now()) << '\n';
+    }
+  }
+
+  sim::Simulator* sim_;
+  const obs::Registry* reg_;
+  bool csv_;
+  std::ofstream out_;
+  Time period_ = Time::zero();
 };
 
 void report_faults(const FaultHarness& h) {
@@ -432,6 +588,17 @@ int run_abr_scenario(const Args& args, exp::Algorithm alg) {
   topo::AbrNetwork net{sim, spec.factory()};
   atm::OutputPort& bottleneck = chaos::build_topology(spec, net);
 
+  std::optional<obs::EventLog> events;
+  if (args.wants_trace()) {
+    if (!obs::kObsEnabled) {
+      std::fprintf(stderr,
+                   "note: built with PHANTOM_DISABLE_OBS — traces will "
+                   "contain no events\n");
+    }
+    events.emplace(static_cast<std::size_t>(args.trace_capacity));
+    net.attach_event_log(&*events);
+  }
+
   if (args.adversaries > 0) {
     // The last N sessions turn hostile; compliant ones keep low indices
     // so their goodput rows are easy to eyeball in the table.
@@ -457,11 +624,22 @@ int run_abr_scenario(const Args& args, exp::Algorithm alg) {
   std::optional<FaultHarness> faults;
   if (plan) {
     try {
-      faults.emplace(sim, net, bottleneck, *plan);
+      faults.emplace(sim, net, bottleneck, *plan, events ? &*events : nullptr);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
     }
+  }
+  // The registry samples by callback, so it registers after everything
+  // that owns metrics exists (policers, buffer managers, the injector).
+  obs::Registry registry;
+  std::optional<MetricsDumper> metrics;
+  if (!args.metrics_out.empty()) {
+    net.register_metrics(registry);
+    if (faults) faults->injector.register_metrics(registry, "fault");
+    metrics.emplace(sim, registry, args.metrics_out,
+                    args.metrics_interval_ms);
+    if (!metrics->ok()) return 2;
   }
   exp::QueueSampler queue{sim, bottleneck};
   std::optional<topo::OnOffDriver> driver;
@@ -547,6 +725,35 @@ int run_abr_scenario(const Args& args, exp::Algorithm alg) {
         atm::to_string(worst).c_str());
   }
   if (perf) perf->print();
+  if (metrics) {
+    metrics->finish();
+    std::printf("wrote %s (metrics)\n", args.metrics_out.c_str());
+  }
+  if (events) {
+    if (!args.trace_out.empty()) {
+      if (!write_file(args.trace_out, events->to_chrome_trace())) return 2;
+      std::printf("wrote %s (chrome trace)\n", args.trace_out.c_str());
+    }
+    if (!args.trace_jsonl.empty()) {
+      obs::EventLog::Filter f;
+      if (args.trace_vc >= 0) f.vc = args.trace_vc;
+      if (args.trace_node >= 0) {
+        f.node = static_cast<std::int16_t>(args.trace_node);
+      }
+      if (args.trace_port >= 0) {
+        f.port = static_cast<std::int16_t>(args.trace_port);
+      }
+      if (!args.trace_category.empty()) {
+        f.category = obs::category_from_string(args.trace_category);
+      }
+      if (!write_file(args.trace_jsonl, events->to_jsonl(f))) return 2;
+      std::printf("wrote %s (event jsonl)\n", args.trace_jsonl.c_str());
+    }
+    std::printf("trace: %llu events recorded, %llu overwritten (ring %zu)\n",
+                static_cast<unsigned long long>(events->recorded()),
+                static_cast<unsigned long long>(events->overwritten()),
+                events->capacity());
+  }
   return 0;
 }
 
@@ -608,9 +815,20 @@ int run_tcp_scenario(const Args& args) {
 int main(int argc, char** argv) {
   const auto args = parse(argc, argv);
   if (!args) return 2;
+  if (args->metrics_doc) {
+    // Reference mode: print the canonical metric table (the generated
+    // docs/METRICS.md) and exit without running a scenario.
+    std::fputs(exp::metrics_reference_markdown().c_str(), stdout);
+    return 0;
+  }
   if (args->scenario == "tcp") {
     if (!args->fault_plan.empty()) {
       std::fprintf(stderr, "--fault-plan requires an ABR scenario\n");
+      return 2;
+    }
+    if (args->wants_obs()) {
+      std::fprintf(stderr,
+                   "--metrics-out/--trace-* require an ABR scenario\n");
       return 2;
     }
     return run_tcp_scenario(*args);

@@ -271,6 +271,48 @@ void AbrSource::apply_backward_rm(const Cell& cell) {
 void AbrSource::set_acr(sim::Rate r) {
   acr_ = r;
   acr_trace_.record(sim_->now(), r.bits_per_sec());
+  if constexpr (obs::kObsEnabled) {
+    if (event_log_ != nullptr) {
+      obs::Event e;
+      e.time = sim_->now();
+      e.kind = obs::EventKind::kSourceRate;
+      e.vc = vc_;
+      e.a = r.mbits_per_sec();
+      event_log_->record(e);
+    }
+  }
+}
+
+void AbrSource::register_metrics(obs::Registry& reg,
+                                 const std::string& prefix) {
+  reg.add_gauge({prefix + ".acr_mbps", "source.acr_mbps",
+                 obs::MetricType::kGauge, "Mb/s", "AbrSource",
+                 "current allowed cell rate"},
+                [this] { return acr_.mbits_per_sec(); });
+  reg.add_counter({prefix + ".data_cells_sent", "source.data_cells_sent",
+                   obs::MetricType::kCounter, "cells", "AbrSource",
+                   "data cells transmitted"},
+                  [this] { return data_sent_; });
+  reg.add_counter({prefix + ".frames_sent", "source.frames_sent",
+                   obs::MetricType::kCounter, "frames", "AbrSource",
+                   "complete AAL5 frames emitted"},
+                  [this] { return static_cast<std::uint64_t>(frame_id_); });
+  reg.add_counter({prefix + ".rm_cells_sent", "source.rm_cells_sent",
+                   obs::MetricType::kCounter, "cells", "AbrSource",
+                   "forward RM cells emitted"},
+                  [this] { return rm_sent_; });
+  reg.add_counter({prefix + ".brm_cells_received", "source.brm_cells_received",
+                   obs::MetricType::kCounter, "cells", "AbrSource",
+                   "backward RM cells received"},
+                  [this] { return brm_received_; });
+  reg.add_counter({prefix + ".forged_brm_sent", "source.forged_brm_sent",
+                   obs::MetricType::kCounter, "cells", "AbrSource",
+                   "self-addressed forged BRM cells emitted (kForging)"},
+                  [this] { return forged_brm_sent_; });
+  reg.add_gauge({prefix + ".frms_since_brm", "source.frms_since_brm",
+                 obs::MetricType::kGauge, "cells", "AbrSource",
+                 "FRMs sent since the last BRM (feedback-loss counter)"},
+                [this] { return static_cast<double>(frm_since_brm_); });
 }
 
 }  // namespace phantom::atm

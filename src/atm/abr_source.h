@@ -9,6 +9,8 @@
 #include "atm/abr_params.h"
 #include "atm/cell.h"
 #include "atm/link.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 
@@ -125,6 +127,14 @@ class AbrSource final : public CellSink {
   /// "sessions' allowed rate" curves).
   [[nodiscard]] const sim::Trace& acr_trace() const { return acr_trace_; }
 
+  /// Attaches the structured event log: every ACR change records a
+  /// kSourceRate event on this source's VC track.
+  void set_event_log(obs::EventLog* log) { event_log_ = log; }
+
+  /// Registers this source's send/feedback counters and ACR gauge
+  /// under `prefix`.
+  void register_metrics(obs::Registry& reg, const std::string& prefix);
+
  private:
   void send_next_cell();
   void emit_forward_rm();
@@ -161,6 +171,7 @@ class AbrSource final : public CellSink {
   double compliance_ = 1.0;        // kPartial only: 1 = obeys ER fully
   std::uint64_t forged_brm_sent_ = 0;
   sim::Trace acr_trace_;
+  obs::EventLog* event_log_ = nullptr;
 };
 
 }  // namespace phantom::atm

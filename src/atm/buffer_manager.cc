@@ -230,4 +230,56 @@ void BufferManager::release(int port, const Cell& cell) {
   }
 }
 
+void BufferManager::register_metrics(obs::Registry& reg,
+                                     const std::string& prefix) {
+  reg.add_counter({prefix + ".cells_accepted", "buffers.cells_accepted",
+                   obs::MetricType::kCounter, "cells", "BufferManager",
+                   "cells admitted into the shared memory"},
+                  [this] { return accepted_; });
+  reg.add_counter({prefix + ".frames_epd_discarded",
+                   "buffers.frames_epd_discarded", obs::MetricType::kCounter,
+                   "frames", "BufferManager",
+                   "elastic frames refused whole by EPD"},
+                  [this] { return epd_frames_; });
+  reg.add_counter({prefix + ".cells_ppd_discarded",
+                   "buffers.cells_ppd_discarded", obs::MetricType::kCounter,
+                   "cells", "BufferManager",
+                   "damaged-frame tail cells discarded by PPD"},
+                  [this] { return ppd_cells_; });
+  reg.add_counter({prefix + ".cells_shed", "buffers.cells_shed",
+                   obs::MetricType::kCounter, "cells", "BufferManager",
+                   "elastic cells shed above the shed threshold"},
+                  [this] { return shed_cells_; });
+  reg.add_counter({prefix + ".cells_overflow_dropped",
+                   "buffers.cells_overflow_dropped", obs::MetricType::kCounter,
+                   "cells", "BufferManager",
+                   "cells dropped on hard budget/partition exhaustion"},
+                  [this] { return overflow_cells_; });
+  reg.add_counter({prefix + ".mcr_protected_cells",
+                   "buffers.mcr_protected_cells", obs::MetricType::kCounter,
+                   "cells", "BufferManager",
+                   "cells admitted under MCR frame protection"},
+                  [this] { return protected_cells_; });
+  reg.add_gauge({prefix + ".cells_in_use", "buffers.cells_in_use",
+                 obs::MetricType::kGauge, "cells", "BufferManager",
+                 "current shared-memory occupancy"},
+                [this] { return static_cast<double>(in_use_); });
+  reg.add_gauge({prefix + ".peak_cells_in_use", "buffers.peak_cells_in_use",
+                 obs::MetricType::kGauge, "cells", "BufferManager",
+                 "peak shared-memory occupancy so far"},
+                [this] { return static_cast<double>(peak_); });
+  reg.add_gauge({prefix + ".effective_budget", "buffers.effective_budget",
+                 obs::MetricType::kGauge, "cells", "BufferManager",
+                 "cell budget after any memsqueeze"},
+                [this] { return static_cast<double>(effective_budget()); });
+  reg.add_gauge({prefix + ".degradation_level", "buffers.degradation_level",
+                 obs::MetricType::kGauge, "level", "BufferManager",
+                 "0 normal / 1 EPD / 2 shedding / 3 exhausted"},
+                [this] { return static_cast<double>(level()); });
+  reg.add_gauge({prefix + ".tracked_vcs", "buffers.tracked_vcs",
+                 obs::MetricType::kGauge, "vcs", "BufferManager",
+                 "VCs with frame/MCR state"},
+                [this] { return static_cast<double>(vcs_.size()); });
+}
+
 }  // namespace phantom::atm

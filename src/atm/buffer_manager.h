@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "atm/cell.h"
+#include "obs/metrics.h"
 #include "sim/time.h"
 
 namespace phantom::atm {
@@ -173,6 +174,10 @@ class BufferManager {
     return protected_cells_;
   }
   [[nodiscard]] std::size_t tracked_vcs() const { return vcs_.size(); }
+
+  /// Registers the discard ladder's counters and occupancy gauges
+  /// under `prefix`.
+  void register_metrics(obs::Registry& reg, const std::string& prefix);
 
  private:
   struct VcState {

@@ -11,6 +11,8 @@
 #include "atm/cell.h"
 #include "atm/link.h"
 #include "atm/port_controller.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -88,9 +90,45 @@ class OutputPort {
   }
   [[nodiscard]] bool buffer_managed() const { return buffer_mgr_ != nullptr; }
 
+  /// Attaches the structured event log: every enqueue and every drop
+  /// (with its reason) is recorded, and the controller's rate updates
+  /// ride along. `node`/`port` identify this port in the trace.
+  void set_event_log(obs::EventLog* log, int node, int port) {
+    event_log_ = log;
+    obs_node_ = static_cast<std::int16_t>(node);
+    obs_port_ = static_cast<std::int16_t>(port);
+    controller_->set_event_log(log, node, port);
+  }
+
+  /// Registers this port's counters, queue gauges, the queue-depth
+  /// histogram (sampled at each accepted cell from registration on),
+  /// and the controller's metrics, all under `prefix`.
+  void register_metrics(obs::Registry& reg, const std::string& prefix);
+
  private:
   void start_transmission();
   void on_transmission_complete();
+
+  void record_cell_event(obs::EventKind kind, const Cell& cell,
+                         std::uint8_t detail) {
+    if constexpr (obs::kObsEnabled) {
+      if (event_log_ != nullptr) {
+        obs::Event e;
+        e.time = sim_->now();
+        e.kind = kind;
+        e.detail = detail;
+        e.node = obs_node_;
+        e.port = obs_port_;
+        e.vc = cell.vc;
+        e.a = static_cast<double>(queue_length());
+        event_log_->record(e);
+      }
+    } else {
+      (void)kind;
+      (void)cell;
+      (void)detail;
+    }
+  }
 
   sim::Simulator* sim_;
   sim::Rate rate_;
@@ -111,6 +149,12 @@ class OutputPort {
   std::uint64_t dropped_ = 0;
   std::uint64_t transmitted_ = 0;
   std::uint64_t accepted_ = 0;
+  obs::EventLog* event_log_ = nullptr;
+  std::int16_t obs_node_ = -1;
+  std::int16_t obs_port_ = -1;
+  /// Queue depth at each accepted cell; allocated (and sampled) only
+  /// once register_metrics has run, so unobserved ports pay nothing.
+  std::unique_ptr<obs::Histogram> queue_hist_;
 };
 
 }  // namespace phantom::atm

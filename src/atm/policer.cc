@@ -84,4 +84,40 @@ double Policer::violation_rate(int vc) const {
                             static_cast<double>(checked);
 }
 
+void Policer::register_metrics(obs::Registry& reg, const std::string& prefix) {
+  reg.add_counter({prefix + ".cells_checked", "policer.cells_checked",
+                   obs::MetricType::kCounter, "cells", "Policer",
+                   "cells GCRA-checked at the ingress"},
+                  [this] { return cells_checked(); });
+  reg.add_counter({prefix + ".cells_conforming", "policer.cells_conforming",
+                   obs::MetricType::kCounter, "cells", "Policer",
+                   "cells found conforming"},
+                  [this] { return total_.conforming; });
+  reg.add_counter(
+      {prefix + ".cells_nonconforming", "policer.cells_nonconforming",
+       obs::MetricType::kCounter, "cells", "Policer",
+       "cells found non-conforming"},
+      [this] { return total_.nonconforming; });
+  reg.add_counter({prefix + ".cells_tagged", "policer.cells_tagged",
+                   obs::MetricType::kCounter, "cells", "Policer",
+                   "non-conforming cells CLP-tagged (tag mode)"},
+                  [this] { return total_.tagged; });
+  reg.add_counter({prefix + ".cells_dropped", "policer.cells_dropped",
+                   obs::MetricType::kCounter, "cells", "Policer",
+                   "non-conforming cells discarded at ingress (drop mode)"},
+                  [this] { return total_.dropped; });
+  reg.add_counter({prefix + ".vcs_evicted", "policer.vcs_evicted",
+                   obs::MetricType::kCounter, "vcs", "Policer",
+                   "VC GCRA states evicted (reaper + teardown)"},
+                  [this] { return evicted_; });
+  reg.add_gauge({prefix + ".tracked_vcs", "policer.tracked_vcs",
+                 obs::MetricType::kGauge, "vcs", "Policer",
+                 "VCs currently holding GCRA state"},
+                [this] { return static_cast<double>(vcs_.size()); });
+  reg.add_gauge({prefix + ".violation_rate", "policer.violation_rate",
+                 obs::MetricType::kGauge, "ratio", "Policer",
+                 "fraction of checked cells found non-conforming"},
+                [this] { return violation_rate(); });
+}
+
 }  // namespace phantom::atm

@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "atm/cell.h"
+#include "obs/metrics.h"
 #include "sim/time.h"
 
 namespace phantom::atm {
@@ -110,6 +111,9 @@ class Policer {
   [[nodiscard]] double violation_rate() const;
   /// Same, for one VC — the per-session detection signal.
   [[nodiscard]] double violation_rate(int vc) const;
+
+  /// Registers the aggregate policing surface under `prefix`.
+  void register_metrics(obs::Registry& reg, const std::string& prefix);
 
  private:
   struct VcState {

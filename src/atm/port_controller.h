@@ -13,6 +13,8 @@
 #include <string>
 
 #include "atm/cell.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "sim/time.h"
 
 namespace phantom::atm {
@@ -154,6 +156,57 @@ class PortController {
   [[nodiscard]] virtual sim::Rate fair_share() const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Attaches the structured event log (see obs::EventLog); the
+  /// controller records a kRateUpdate whenever its estimate moves.
+  /// `node`/`port` identify the owning switch port in the trace.
+  void set_event_log(obs::EventLog* log, int node, int port) {
+    event_log_ = log;
+    obs_node_ = static_cast<std::int16_t>(node);
+    obs_port_ = static_cast<std::int16_t>(port);
+  }
+
+  /// Registers this controller's metrics under `prefix`. The base
+  /// registers the common surface (fair share, warm restarts);
+  /// algorithms override to add their own state (and should call the
+  /// base first).
+  virtual void register_metrics(obs::Registry& reg,
+                                const std::string& prefix) {
+    reg.add_gauge({prefix + ".fair_share_mbps", "controller.fair_share_mbps",
+                   obs::MetricType::kGauge, "Mb/s", "PortController",
+                   "current fair-share estimate (MACR / ERS)"},
+                  [this] { return fair_share().mbits_per_sec(); });
+    if (warm_audit() != nullptr) {
+      reg.add_counter(
+          {prefix + ".warm_restarts", "controller.warm_restarts",
+           obs::MetricType::kCounter, "restarts", "PortController",
+           "warm_restart() invocations"},
+          [this] { return warm_audit()->warm_restarts; });
+    }
+  }
+
+ protected:
+  /// Implementations call this after each fair-share recomputation.
+  void note_rate_update(sim::Time now) {
+    if constexpr (obs::kObsEnabled) {
+      if (event_log_ != nullptr) {
+        obs::Event e;
+        e.time = now;
+        e.kind = obs::EventKind::kRateUpdate;
+        e.node = obs_node_;
+        e.port = obs_port_;
+        e.a = fair_share().mbits_per_sec();
+        event_log_->record(e);
+      }
+    } else {
+      (void)now;
+    }
+  }
+
+ private:
+  obs::EventLog* event_log_ = nullptr;
+  std::int16_t obs_node_ = -1;
+  std::int16_t obs_port_ = -1;
 };
 
 /// No-op controller for ports that do not run flow control (access
@@ -163,6 +216,8 @@ class NullController final : public PortController {
   void on_backward_rm(Cell&, std::size_t) override {}
   [[nodiscard]] sim::Rate fair_share() const override { return sim::Rate::zero(); }
   [[nodiscard]] std::string name() const override { return "null"; }
+  /// Uncontrolled ports have no estimate worth a metric.
+  void register_metrics(obs::Registry&, const std::string&) override {}
 };
 
 }  // namespace phantom::atm

@@ -46,7 +46,75 @@ std::size_t Switch::add_port(sim::Rate rate, std::size_t queue_limit,
     ports_.back()->attach_buffer_manager(buffer_mgr_.get(),
                                          buffer_mgr_->register_port());
   }
+  if (event_log_ != nullptr) {
+    ports_.back()->set_event_log(event_log_, obs_node_,
+                                 static_cast<int>(ports_.size() - 1));
+  }
   return ports_.size() - 1;
+}
+
+void Switch::set_event_log(obs::EventLog* log, int node) {
+  event_log_ = log;
+  obs_node_ = static_cast<std::int16_t>(node);
+  if (log != nullptr) log->set_node_name(obs_node_, name_);
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    ports_[i]->set_event_log(log, node, static_cast<int>(i));
+  }
+}
+
+void Switch::record_rm_event(obs::EventKind kind, const Cell& cell,
+                             std::size_t forward_port) {
+  if constexpr (obs::kObsEnabled) {
+    if (event_log_ == nullptr) return;
+    obs::Event e;
+    e.time = sim_->now();
+    e.kind = kind;
+    e.node = obs_node_;
+    e.port = static_cast<std::int16_t>(forward_port);
+    e.vc = cell.vc;
+    e.a = cell.er.mbits_per_sec();
+    e.b = cell.ccr.mbits_per_sec();
+    e.c = ports_[forward_port]->controller().fair_share().mbits_per_sec();
+    event_log_->record(e);
+  } else {
+    (void)kind;
+    (void)cell;
+    (void)forward_port;
+  }
+}
+
+void Switch::record_policer_event(const Cell& cell, std::uint8_t verdict) {
+  if constexpr (obs::kObsEnabled) {
+    if (event_log_ == nullptr) return;
+    obs::Event e;
+    e.time = sim_->now();
+    e.kind = obs::EventKind::kPolicerVerdict;
+    e.detail = verdict;
+    e.node = obs_node_;
+    e.vc = cell.vc;
+    event_log_->record(e);
+  } else {
+    (void)cell;
+    (void)verdict;
+  }
+}
+
+void Switch::record_cac_refusal(int vc, sim::Rate mcr, AdmitVerdict verdict) {
+  if constexpr (obs::kObsEnabled) {
+    if (event_log_ == nullptr) return;
+    obs::Event e;
+    e.time = sim_->now();
+    e.kind = obs::EventKind::kCacRefusal;
+    e.detail = static_cast<std::uint8_t>(verdict);
+    e.node = obs_node_;
+    e.vc = vc;
+    e.a = mcr.mbits_per_sec();
+    event_log_->record(e);
+  } else {
+    (void)vc;
+    (void)mcr;
+    (void)verdict;
+  }
 }
 
 void Switch::enable_buffer_management(BufferConfig config) {
@@ -100,10 +168,12 @@ AdmitVerdict Switch::admit_vc(int vc, sim::Rate mcr,
   if (buffer_mgr_ &&
       buffer_mgr_->level() >= DegradationLevel::kShedding) {
     ++cac_counters_.refused_pressure;
+    record_cac_refusal(vc, mcr, AdmitVerdict::kRefusedPressure);
     return AdmitVerdict::kRefusedPressure;
   }
   if (admitted_.size() >= cac_config_.max_vcs) {
     ++cac_counters_.refused_vc_limit;
+    record_cac_refusal(vc, mcr, AdmitVerdict::kRefusedVcLimit);
     return AdmitVerdict::kRefusedVcLimit;
   }
   const sim::Rate booked = mcr_booked_.at(forward_port);
@@ -111,6 +181,7 @@ AdmitVerdict Switch::admit_vc(int vc, sim::Rate mcr,
       ports_[forward_port]->rate() * cac_config_.mcr_utilization;
   if (booked + mcr > limit) {
     ++cac_counters_.refused_mcr_budget;
+    record_cac_refusal(vc, mcr, AdmitVerdict::kRefusedMcrBudget);
     return AdmitVerdict::kRefusedMcrBudget;
   }
   if (buffer_mgr_) {
@@ -118,6 +189,7 @@ AdmitVerdict Switch::admit_vc(int vc, sim::Rate mcr,
         (admitted_.size() + 1) * cac_config_.per_vc_buffer_cells;
     if (needed > buffer_mgr_->effective_budget()) {
       ++cac_counters_.refused_buffer;
+      record_cac_refusal(vc, mcr, AdmitVerdict::kRefusedBufferHeadroom);
       return AdmitVerdict::kRefusedBufferHeadroom;
     }
   }
@@ -194,6 +266,56 @@ bool Switch::evict_vc(int vc) {
   return true;
 }
 
+void Switch::register_metrics(obs::Registry& reg, const std::string& prefix) {
+  reg.add_counter({prefix + ".unrouted_cells", "switch.unrouted_cells",
+                   obs::MetricType::kCounter, "cells", "Switch",
+                   "cells that arrived for a VC with no route"},
+                  [this] { return unrouted_; });
+  reg.add_counter({prefix + ".rm_cells_sanitized", "switch.rm_cells_sanitized",
+                   obs::MetricType::kCounter, "cells", "Switch",
+                   "RM cells whose ER/CCR fields were clamped on ingest"},
+                  [this] { return rm_sanitized_; });
+  reg.add_counter({prefix + ".vcs_reaped", "switch.vcs_reaped",
+                   obs::MetricType::kCounter, "vcs", "Switch",
+                   "VCs evicted (reaper sweeps + explicit teardowns)"},
+                  [this] { return vcs_reaped_; });
+  reg.add_gauge({prefix + ".active_vcs", "switch.active_vcs",
+                 obs::MetricType::kGauge, "vcs", "Switch",
+                 "VCs with a live activity timestamp"},
+                [this] { return static_cast<double>(active_vcs()); });
+  reg.add_gauge({prefix + ".admitted_vcs", "switch.admitted_vcs",
+                 obs::MetricType::kGauge, "vcs", "Switch",
+                 "VCs currently holding an admission record"},
+                [this] { return static_cast<double>(admitted_.size()); });
+  reg.add_counter({prefix + ".cac.admitted", "switch.cac.admitted",
+                   obs::MetricType::kCounter, "setups", "Switch",
+                   "VC setups admitted by CAC"},
+                  [this] { return cac_counters_.admitted; });
+  reg.add_counter({prefix + ".cac.refused_vc_limit",
+                   "switch.cac.refused_vc_limit", obs::MetricType::kCounter,
+                   "setups", "Switch", "setups refused: VC table at max_vcs"},
+                  [this] { return cac_counters_.refused_vc_limit; });
+  reg.add_counter(
+      {prefix + ".cac.refused_mcr_budget", "switch.cac.refused_mcr_budget",
+       obs::MetricType::kCounter, "setups", "Switch",
+       "setups refused: MCR sum would exceed the booking limit"},
+      [this] { return cac_counters_.refused_mcr_budget; });
+  reg.add_counter({prefix + ".cac.refused_buffer", "switch.cac.refused_buffer",
+                   obs::MetricType::kCounter, "setups", "Switch",
+                   "setups refused: cell memory cannot back another VC"},
+                  [this] { return cac_counters_.refused_buffer; });
+  reg.add_counter({prefix + ".cac.refused_pressure",
+                   "switch.cac.refused_pressure", obs::MetricType::kCounter,
+                   "setups", "Switch",
+                   "setups refused: switch already shedding"},
+                  [this] { return cac_counters_.refused_pressure; });
+  if (policer_) policer_->register_metrics(reg, prefix + ".policer");
+  if (buffer_mgr_) buffer_mgr_->register_metrics(reg, prefix + ".buffers");
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    ports_[i]->register_metrics(reg, prefix + ".port" + std::to_string(i));
+  }
+}
+
 void Switch::sanitize_rm(Cell& cell, sim::Rate link_rate) {
   // A switch must never let a hostile RM field reach controller state:
   // EPRCA-family algorithms *learn* from CCR, and NaN survives every
@@ -239,8 +361,10 @@ void Switch::receive_cell(Cell cell) {
         break;
       case Policer::Verdict::kTag:
         cell.clp = true;
+        record_policer_event(cell, 1);
         break;
       case Policer::Verdict::kDrop:
+        record_policer_event(cell, 2);
         // Discarded at ingress, before the port queue: enforcement
         // drops do NOT feed the controller's offered-load measurement,
         // so a policed violator stops inflating the apparent session
@@ -255,12 +379,15 @@ void Switch::receive_cell(Cell cell) {
       break;
     case CellKind::kForwardRm:
       fwd.controller().on_forward_rm(cell, fwd.queue_length());
+      record_rm_event(obs::EventKind::kRmForward, cell, route.forward_port);
       fwd.send(cell);
       break;
     case CellKind::kBackwardRm:
       // Feedback for the forward direction is written here, then the
-      // cell continues along the reverse path.
+      // cell continues along the reverse path. The trace records the
+      // post-stamp ER/CCR — what the source will actually be told.
       fwd.controller().on_backward_rm(cell, fwd.queue_length());
+      record_rm_event(obs::EventKind::kRmBackward, cell, route.forward_port);
       ports_[route.backward_port]->send(cell);
       break;
   }

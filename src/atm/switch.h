@@ -9,6 +9,8 @@
 #include "atm/cell.h"
 #include "atm/output_port.h"
 #include "atm/policer.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace phantom::atm {
@@ -184,6 +186,17 @@ class Switch final : public CellSink {
     if (buffer_mgr_) buffer_mgr_->evict_vc(vc);
   }
 
+  /// Attaches the structured event log to this switch and every port
+  /// (present and future): RM round-trips, policer verdicts, CAC
+  /// refusals, enqueues/drops and controller rate updates get recorded.
+  /// `node` is this switch's index in the trace's track layout.
+  void set_event_log(obs::EventLog* log, int node);
+
+  /// Registers this switch's metrics — CAC counters, reaper/sanitizer
+  /// totals, and the policer's, buffer manager's, every port's and
+  /// every controller's surface — under `prefix`.
+  void register_metrics(obs::Registry& reg, const std::string& prefix);
+
   [[nodiscard]] const CacCounters& cac_counters() const {
     return cac_counters_;
   }
@@ -199,6 +212,15 @@ class Switch final : public CellSink {
 
   /// Clamps hostile RM field values before any controller sees them.
   void sanitize_rm(Cell& cell, sim::Rate link_rate);
+
+  /// Records an RM transit event (ER/CCR as stamped, plus the forward
+  /// port controller's fair share at that instant).
+  void record_rm_event(obs::EventKind kind, const Cell& cell,
+                       std::size_t forward_port);
+  /// Records a policer verdict (detail: 1 = tag, 2 = drop).
+  void record_policer_event(const Cell& cell, std::uint8_t verdict);
+  /// Records a CAC refusal (detail: AdmitVerdict code).
+  void record_cac_refusal(int vc, sim::Rate mcr, AdmitVerdict verdict);
 
   struct Route {
     std::size_t forward_port;
@@ -231,6 +253,8 @@ class Switch final : public CellSink {
   ReaperConfig reaper_config_;
   std::unordered_map<int, sim::Time> last_activity_;
   std::uint64_t vcs_reaped_ = 0;
+  obs::EventLog* event_log_ = nullptr;
+  std::int16_t obs_node_ = -1;
 };
 
 }  // namespace phantom::atm

@@ -54,6 +54,7 @@ void AprcController::on_forward_rm(atm::Cell& cell, std::size_t) {
     macr_ = std::clamp(macr_, 0.0, link_bps_);
   }
   macr_trace_.record(sim_->now(), macr_);
+  note_rate_update(sim_->now());
 }
 
 void AprcController::on_backward_rm(atm::Cell& cell, std::size_t queue_len) {

@@ -66,6 +66,20 @@ class AprcController final : public atm::PortController {
   [[nodiscard]] const sim::Trace& macr_trace() const { return macr_trace_; }
   [[nodiscard]] bool congested() const { return congested_; }
 
+  /// Base surface plus the MACR estimate and queue-growth verdict.
+  void register_metrics(obs::Registry& reg,
+                        const std::string& prefix) override {
+    PortController::register_metrics(reg, prefix);
+    reg.add_gauge({prefix + ".macr_mbps", "aprc.macr_mbps",
+                   obs::MetricType::kGauge, "Mb/s", "AprcController",
+                   "exponential average of FRM-stamped CCRs"},
+                  [this] { return macr_ / 1e6; });
+    reg.add_gauge({prefix + ".congested", "aprc.congested",
+                   obs::MetricType::kGauge, "bool", "AprcController",
+                   "1 while the queue grew over the last growth interval"},
+                  [this] { return congested_ ? 1.0 : 0.0; });
+  }
+
  private:
   void on_growth_tick();
 

@@ -63,6 +63,7 @@ void CapcController::on_interval() {
   }
   ers_ = std::clamp(ers_, config_.min_ers.bits_per_sec(), target_bps_);
   ers_trace_.record(sim_->now(), ers_);
+  note_rate_update(sim_->now());
   sim_->schedule(config_.interval,
                  sim::bind_member<&CapcController::on_interval>(this));
 }

@@ -74,6 +74,16 @@ class CapcController final : public atm::PortController {
   [[nodiscard]] std::string name() const override { return "capc"; }
   [[nodiscard]] const sim::Trace& ers_trace() const { return ers_trace_; }
 
+  /// Base surface plus the advertised ERS.
+  void register_metrics(obs::Registry& reg,
+                        const std::string& prefix) override {
+    PortController::register_metrics(reg, prefix);
+    reg.add_gauge({prefix + ".ers_mbps", "capc.ers_mbps",
+                   obs::MetricType::kGauge, "Mb/s", "CapcController",
+                   "explicit rate stamped on backward RM cells"},
+                  [this] { return ers_ / 1e6; });
+  }
+
  private:
   void on_interval();
   void close_warm_window();

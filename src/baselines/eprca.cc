@@ -31,6 +31,7 @@ void EprcaController::on_forward_rm(atm::Cell& cell, std::size_t) {
     macr_ = std::clamp(macr_, 0.0, link_bps_);
   }
   macr_trace_.record(sim_->now(), macr_);
+  note_rate_update(sim_->now());
 }
 
 void EprcaController::reset() {

@@ -65,6 +65,16 @@ class EprcaController final : public atm::PortController {
   [[nodiscard]] std::string name() const override { return "eprca"; }
   [[nodiscard]] const sim::Trace& macr_trace() const { return macr_trace_; }
 
+  /// Base surface plus the CCR-averaged MACR.
+  void register_metrics(obs::Registry& reg,
+                        const std::string& prefix) override {
+    PortController::register_metrics(reg, prefix);
+    reg.add_gauge({prefix + ".macr_mbps", "eprca.macr_mbps",
+                   obs::MetricType::kGauge, "Mb/s", "EprcaController",
+                   "exponential average of FRM-stamped CCRs"},
+                  [this] { return macr_ / 1e6; });
+  }
+
  private:
   sim::Simulator* sim_;
   EprcaConfig config_;

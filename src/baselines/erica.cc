@@ -91,6 +91,7 @@ void EricaController::on_interval() {
     fair_share_ = target_bps_ / static_cast<double>(vcs_.size());
   }
   trace_.record(sim_->now(), fair_share_);
+  note_rate_update(sim_->now());
   sim_->schedule(config_.interval,
                  sim::bind_member<&EricaController::on_interval>(this));
 }

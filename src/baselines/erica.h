@@ -70,6 +70,21 @@ class EricaController final : public atm::PortController {
   [[nodiscard]] std::size_t tracked_vcs() const { return vcs_.size(); }
   [[nodiscard]] double load_factor() const { return load_factor_; }
 
+  /// Base surface plus the load factor and the per-VC table size (the
+  /// O(connections) state the constant-space class avoids).
+  void register_metrics(obs::Registry& reg,
+                        const std::string& prefix) override {
+    PortController::register_metrics(reg, prefix);
+    reg.add_gauge({prefix + ".load_factor", "erica.load_factor",
+                   obs::MetricType::kGauge, "ratio", "EricaController",
+                   "z = input rate / (utilization * capacity)"},
+                  [this] { return load_factor_; });
+    reg.add_gauge({prefix + ".tracked_vcs", "erica.tracked_vcs",
+                   obs::MetricType::kGauge, "vcs", "EricaController",
+                   "VCs in the per-VC CCR table"},
+                  [this] { return static_cast<double>(vcs_.size()); });
+  }
+
  private:
   struct VcState {
     double ccr_bps = 0.0;

@@ -101,6 +101,8 @@ void write_result_frame(int fd, const TrialResult& r) {
   append_double(body, r.settled_share_mbps);
   append_double(body, r.peak_queue_cells);
   append_str(body, r.detail);
+  append_u64(body, r.flight_recorder.size());
+  for (const std::string& line : r.flight_recorder) append_str(body, line);
   append_u64(frame, body.size());
   frame += body;
   write_all(fd, frame);
@@ -158,11 +160,22 @@ struct ParsedFrames {
       res.settled_share_mbps = r.f64();
       res.peak_queue_cells = r.f64();
       const std::uint64_t detail_len = r.u64();
-      if (r.pos + detail_len != end) break;  // corrupt frame
+      if (detail_len > end - r.pos) break;  // corrupt frame
       res.detail = buf.substr(r.pos, detail_len);
-      r.pos = end;
-      out.result = std::move(res);
+      r.pos += detail_len;
+      if (end - r.pos < 8) break;
+      const std::uint64_t n_flight = r.u64();
+      bool flight_ok = true;
+      for (std::uint64_t i = 0; i < n_flight; ++i) {
+        if (end - r.pos < 8) { flight_ok = false; break; }
+        const std::uint64_t line_len = r.u64();
+        if (line_len > end - r.pos) { flight_ok = false; break; }
+        res.flight_recorder.push_back(buf.substr(r.pos, line_len));
+        r.pos += line_len;
+      }
+      if (!flight_ok || r.pos != end) break;  // corrupt frame
       out.progress = res.events;
+      out.result = std::move(res);
     } else {
       break;  // corrupt stream; keep what decoded so far
     }

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace phantom::chaos {
 
@@ -69,6 +70,73 @@ class JsonLineReader {
 
   [[nodiscard]] std::optional<std::string> find_string(const std::string& key) {
     if (!seek(key)) return std::nullopt;
+    return read_string_here();
+  }
+
+  /// For `"key": ["s1", "s2", ...]` — a flat array of strings (the
+  /// checkpoint's flight-recorder field). Nested arrays/objects are not
+  /// supported; any non-string element makes the row corrupt.
+  [[nodiscard]] std::optional<std::vector<std::string>> find_string_array(
+      const std::string& key) {
+    if (!seek(key)) return std::nullopt;
+    if (pos_ >= line_.size() || line_[pos_] != '[') return std::nullopt;
+    ++pos_;
+    std::vector<std::string> out;
+    skip_spaces();
+    if (pos_ < line_.size() && line_[pos_] == ']') {
+      ++pos_;
+      return out;
+    }
+    while (pos_ < line_.size()) {
+      auto s = read_string_here();
+      if (!s) return std::nullopt;
+      out.push_back(std::move(*s));
+      skip_spaces();
+      if (pos_ >= line_.size()) return std::nullopt;
+      if (line_[pos_] == ']') {
+        ++pos_;
+        return out;
+      }
+      if (line_[pos_] != ',') return std::nullopt;
+      ++pos_;
+      skip_spaces();
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  [[nodiscard]] std::optional<long long> find_int(const std::string& key) {
+    const auto tok = find_token(key);
+    if (!tok) return std::nullopt;
+    char* end = nullptr;
+    const long long v = std::strtoll(tok->c_str(), &end, 10);
+    if (end != tok->c_str() + tok->size()) return std::nullopt;
+    return v;
+  }
+
+  [[nodiscard]] std::optional<double> find_double(const std::string& key) {
+    const auto tok = find_token(key);
+    if (!tok) return std::nullopt;
+    char* end = nullptr;
+    const double v = std::strtod(tok->c_str(), &end);
+    if (end != tok->c_str() + tok->size()) return std::nullopt;
+    return v;
+  }
+
+  /// For `"key": null | <number> | true | false` — the raw token.
+  [[nodiscard]] std::optional<std::string> find_token(const std::string& key) {
+    if (!seek(key)) return std::nullopt;
+    std::size_t end = pos_;
+    while (end < line_.size() && line_[end] != ',' && line_[end] != '}' &&
+           line_[end] != ' ') {
+      ++end;
+    }
+    if (end == pos_) return std::nullopt;
+    return line_.substr(pos_, end - pos_);
+  }
+
+ private:
+  /// Reads a quoted, escaped JSON string starting at pos_.
+  [[nodiscard]] std::optional<std::string> read_string_here() {
     if (pos_ >= line_.size() || line_[pos_] != '"') return std::nullopt;
     ++pos_;
     std::string out;
@@ -106,37 +174,10 @@ class JsonLineReader {
     return std::nullopt;  // unterminated
   }
 
-  [[nodiscard]] std::optional<long long> find_int(const std::string& key) {
-    const auto tok = find_token(key);
-    if (!tok) return std::nullopt;
-    char* end = nullptr;
-    const long long v = std::strtoll(tok->c_str(), &end, 10);
-    if (end != tok->c_str() + tok->size()) return std::nullopt;
-    return v;
+  void skip_spaces() {
+    while (pos_ < line_.size() && line_[pos_] == ' ') ++pos_;
   }
 
-  [[nodiscard]] std::optional<double> find_double(const std::string& key) {
-    const auto tok = find_token(key);
-    if (!tok) return std::nullopt;
-    char* end = nullptr;
-    const double v = std::strtod(tok->c_str(), &end);
-    if (end != tok->c_str() + tok->size()) return std::nullopt;
-    return v;
-  }
-
-  /// For `"key": null | <number> | true | false` — the raw token.
-  [[nodiscard]] std::optional<std::string> find_token(const std::string& key) {
-    if (!seek(key)) return std::nullopt;
-    std::size_t end = pos_;
-    while (end < line_.size() && line_[end] != ',' && line_[end] != '}' &&
-           line_[end] != ' ') {
-      ++end;
-    }
-    if (end == pos_) return std::nullopt;
-    return line_.substr(pos_, end - pos_);
-  }
-
- private:
   bool seek(const std::string& key) {
     const std::string needle = "\"" + key + "\": ";
     const auto at = line_.find(needle, pos_);

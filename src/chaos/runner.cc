@@ -7,12 +7,18 @@
 #include "exp/probes.h"
 #include "fault/fault_injector.h"
 #include "fault/invariant_monitor.h"
+#include "obs/event_log.h"
 #include "stats/recovery.h"
 
 namespace phantom::chaos {
 namespace {
 
 using sim::Time;
+
+/// Flight-recorder sizing: the ring holds enough recent history to
+/// cover several control intervals; failures attach the last few lines.
+constexpr std::size_t kFlightRingCapacity = 1024;
+constexpr std::size_t kFlightTailDepth = 16;
 
 [[nodiscard]] std::string fmt_mbps(double bps) {
   char buf[32];
@@ -107,16 +113,26 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed,
                       const fault::FaultPlan& plan, const TrialOptions& opt,
                       const Baseline* baseline) {
   TrialResult r;
+  obs::EventLog log{kFlightRingCapacity};  // outlives the rig holding pointers
   Rig rig{spec, seed};
+  rig.net.attach_event_log(&log);
   fault::FaultInjector injector{rig.sim, rig.net};
+  injector.set_event_log(&log);
+  // Failure verdicts carry the tail of the event log — what the network
+  // was doing just before the oracle tripped.
+  const auto fail = [&r, &log]() -> TrialResult& {
+    r.flight_recorder = log.tail_jsonl(kFlightTailDepth);
+    return r;
+  };
   try {
     injector.apply(plan);
   } catch (const std::exception& e) {
     r.verdict = Verdict::kCrash;
     r.detail = std::string{"applying plan: "} + e.what();
-    return r;
+    return fail();
   }
   fault::InvariantMonitor monitor{rig.sim, rig.net, opt.oracle.monitor_period};
+  monitor.set_event_log(&log, kFlightTailDepth);
   exp::FairShareSampler share{rig.sim, rig.bottleneck->controller()};
   exp::QueueSampler queue{rig.sim, *rig.bottleneck};
   if (opt.prepare) opt.prepare(rig.sim, rig.net);
@@ -129,7 +145,7 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed,
     r.verdict = Verdict::kCrash;
     r.detail = e.what();
     r.events = rig.sim.events_executed();
-    return r;
+    return fail();
   }
   monitor.check_now();
   r.events = rig.sim.events_executed();
@@ -146,7 +162,7 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed,
     r.detail = std::string{sim::to_string(outcome)} + " after " +
                std::to_string(r.events) + " events at " +
                rig.sim.now().to_string();
-    return r;
+    return fail();
   }
 
   // 2. Invariants: the machine-checked bookkeeping must stay clean.
@@ -157,7 +173,7 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed,
                (r.violations > 1
                     ? " (+" + std::to_string(r.violations - 1) + " more)"
                     : "");
-    return r;
+    return fail();
   }
 
   // 3. Reconvergence: back to the pre-fault operating point within the
@@ -178,14 +194,14 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed,
                    " +/- " + std::to_string(static_cast<int>(
                                  opt.oracle.rel_tol * 100)) +
                    "% by " + spec.horizon.to_string();
-        return r;
+        return fail();
       }
       if (first + *r.reconverge_latency > required_by) {
         r.verdict = Verdict::kNoReconverge;
         r.detail = "reconverged " + r.reconverge_latency->to_string() +
                    " after the first fault — past the deadline (" +
                    required_by.to_string() + ")";
-        return r;
+        return fail();
       }
     }
   }
@@ -211,7 +227,7 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed,
       r.verdict = Verdict::kDifferential;
       r.detail = "settled share " + fmt_mbps(faulted) +
                  " vs fault-free " + fmt_mbps(clean);
-      return r;
+      return fail();
     }
     const std::uint64_t delivered = total_delivered(rig.net);
     const auto limit = static_cast<std::uint64_t>(
@@ -222,7 +238,7 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed,
       r.detail = "delivered " + std::to_string(delivered) +
                  " cells, fault-free run delivered only " +
                  std::to_string(baseline->delivered_cells);
-      return r;
+      return fail();
     }
   }
   return r;

@@ -11,6 +11,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "chaos/scenario.h"
 #include "fault/fault_plan.h"
@@ -84,6 +85,11 @@ struct TrialResult {
   std::string crash_signal;  ///< "SIGSEGV", ...; empty if the child exited
   int exit_code = 0;         ///< child's exit code when it exited on its own
   std::string stderr_tail;   ///< last bytes of the child's stderr (ASan etc.)
+
+  /// Flight recorder: the last structured events (JSONL lines, oldest
+  /// first) the trial's obs::EventLog held when the verdict was
+  /// reached. Empty on pass and in PHANTOM_DISABLE_OBS builds.
+  std::vector<std::string> flight_recorder;
 
   [[nodiscard]] bool failed() const { return verdict != Verdict::kPass; }
 };

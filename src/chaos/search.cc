@@ -86,7 +86,13 @@ std::string SearchReport::to_json() const {
       out += (t == 0 ? "" : ", ") + std::to_string(c.trials[t]);
     }
     out += "], ";
-    out += "\"sample_detail\": \"" + json_escape(c.sample_detail) + "\"}";
+    out += "\"sample_detail\": \"" + json_escape(c.sample_detail) + "\", ";
+    out += "\"flight_recorder\": [";
+    for (std::size_t t = 0; t < c.flight_recorder.size(); ++t) {
+      if (t > 0) out += ", ";
+      out += "\"" + json_escape(c.flight_recorder[t]) + "\"";
+    }
+    out += "]}";
   }
   out += classes.empty() ? "]\n" : "\n  ]\n";
   out += "}\n";

@@ -208,7 +208,14 @@ std::string checkpoint_row(int trial, const std::string& plan_spec,
   out += ", \"crash_signal\": \"" + json_escape(r.crash_signal) + "\"";
   out += ", \"exit_code\": " + std::to_string(r.exit_code);
   out += ", \"stderr_tail\": \"" + json_escape(r.stderr_tail) + "\"";
-  out += "}";
+  // Last field, so parse_checkpoint_row's ordered scan reads it after
+  // everything else (and rows from older checkpoints simply lack it).
+  out += ", \"flight_recorder\": [";
+  for (std::size_t i = 0; i < r.flight_recorder.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + json_escape(r.flight_recorder[i]) + "\"";
+  }
+  out += "]}";
   return out;
 }
 
@@ -254,6 +261,10 @@ std::optional<std::pair<int, TrialResult>> parse_checkpoint_row(
   r.crash_signal = *crash_signal;
   r.exit_code = static_cast<int>(*exit_code);
   r.stderr_tail = *stderr_tail;
+  // Optional (rows written before the flight recorder existed lack it).
+  if (auto flight = reader.find_string_array("flight_recorder")) {
+    r.flight_recorder = std::move(*flight);
+  }
   if (plan_spec != nullptr) *plan_spec = *plan;
   return std::make_pair(static_cast<int>(*trial), r);
 }

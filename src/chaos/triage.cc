@@ -147,6 +147,7 @@ std::vector<TriagedClass> triage_failures(
       c.verdict = result->verdict;
       c.signal = result->crash_signal;
       c.sample_detail = result->detail;
+      c.flight_recorder = result->flight_recorder;
       classes.push_back(std::move(c));
       found = &classes.back();
     }

@@ -25,6 +25,9 @@ struct TriagedClass {
   Verdict verdict = Verdict::kPass;
   std::string signal;         ///< crash signal name, empty unless kProcessCrash
   std::string sample_detail;  ///< detail of the first (representative) member
+  /// The representative member's flight recorder (the last structured
+  /// events before its verdict; see TrialResult::flight_recorder).
+  std::vector<std::string> flight_recorder;
   std::vector<int> trials;    ///< member trial indices, ascending
 };
 

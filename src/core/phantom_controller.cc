@@ -42,6 +42,7 @@ void PhantomController::close_warm_window() {
     filter_.seed(sim::Rate::bps(*seed));
     warm_.record_seed(filter_.macr().bits_per_sec());
     macr_trace_.record(sim_->now(), filter_.macr().bits_per_sec());
+    note_rate_update(sim_->now());
   }
 }
 
@@ -55,6 +56,7 @@ void PhantomController::on_interval() {
   const sim::Rate macr = filter_.update(offered);
   ++intervals_;
   macr_trace_.record(sim_->now(), macr.bits_per_sec());
+  note_rate_update(sim_->now());
   sim_->schedule(config_.interval,
                  sim::bind_member<&PhantomController::on_interval>(this));
 }

@@ -49,6 +49,21 @@ class PhantomController final : public atm::PortController {
   [[nodiscard]] const sim::Trace& macr_trace() const { return macr_trace_; }
   [[nodiscard]] std::uint64_t intervals_elapsed() const { return intervals_; }
 
+  /// Base surface plus the MACR estimate and interval count.
+  void register_metrics(obs::Registry& reg,
+                        const std::string& prefix) override {
+    PortController::register_metrics(reg, prefix);
+    reg.add_gauge({prefix + ".macr_mbps", "phantom.macr_mbps",
+                   obs::MetricType::kGauge, "Mb/s", "PhantomController",
+                   "residual-filter MACR (the phantom session's rate)"},
+                  [this] { return filter_.macr().mbits_per_sec(); });
+    reg.add_counter({prefix + ".intervals", "phantom.intervals",
+                     obs::MetricType::kCounter, "intervals",
+                     "PhantomController",
+                     "measurement intervals elapsed (filter updates)"},
+                    [this] { return intervals_; });
+  }
+
  private:
   void on_interval();
   void close_warm_window();

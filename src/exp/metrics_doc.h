@@ -1,0 +1,30 @@
+// Canonical metric reference: the single source of truth behind
+// docs/METRICS.md.
+//
+// Instead of hand-maintaining a table that silently drifts from the
+// code, the reference is *generated*: a representative full stack —
+// every controller algorithm, policing, overload protection, fault
+// injection — is instantiated, its components register into an
+// obs::Registry, and the registered definitions are deduplicated by
+// stable metric id. `phantom_cli --metrics-doc` prints the markdown;
+// a tier-1 test diffs docs/METRICS.md against it, so adding a metric
+// without regenerating the doc fails CI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace phantom::exp {
+
+/// Every metric kind any component of the full stack registers, one
+/// entry per stable id (MetricDef::id), sorted by (component, id).
+/// MetricDef::name holds a representative instance path.
+[[nodiscard]] std::vector<obs::MetricDef> canonical_metric_defs();
+
+/// The complete docs/METRICS.md content (markdown, trailing newline).
+/// Deterministic: same build, same bytes.
+[[nodiscard]] std::string metrics_reference_markdown();
+
+}  // namespace phantom::exp

@@ -104,6 +104,13 @@ void print_violations(const fault::InvariantMonitor& monitor) {
   for (const fault::InvariantViolation& iv : v) {
     std::printf("  t=%9.3fms  [%s] %s\n", iv.time.milliseconds(),
                 iv.invariant.c_str(), iv.detail.c_str());
+    if (!iv.recent_events.empty()) {
+      std::printf("    flight recorder (last %zu events):\n",
+                  iv.recent_events.size());
+      for (const std::string& line : iv.recent_events) {
+        std::printf("      %s\n", line.c_str());
+      }
+    }
   }
 }
 

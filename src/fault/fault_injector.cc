@@ -129,8 +129,18 @@ void FaultInjector::validate(const FaultEvent& e) const {
   }
 }
 
-void FaultInjector::record(const std::string& description) {
+void FaultInjector::record(const std::string& description, Phase phase) {
   log_.push_back(AppliedFault{sim_->now(), description});
+  if constexpr (obs::kObsEnabled) {
+    if (event_log_ != nullptr) {
+      obs::Event e;
+      e.time = sim_->now();
+      e.kind = phase == Phase::kRecover ? obs::EventKind::kFaultRecovered
+                                        : obs::EventKind::kFaultFired;
+      e.label = event_log_->intern(description);
+      event_log_->record(e);
+    }
+  }
 }
 
 void FaultInjector::arm(sim::Time at, std::function<void()> action) {
@@ -161,7 +171,7 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
       });
       arm(e.at + e.duration, [this, links, name] {
         for (const auto& st : links) st->down = false;
-        record("outage ends on " + name + " (restored)");
+        record("outage ends on " + name + " (restored)", Phase::kRecover);
       });
       break;
     }
@@ -177,7 +187,8 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
         });
         arm(t + e.down_period, [this, links, name, c] {
           for (const auto& st : links) st->down = false;
-          record("flap cycle " + std::to_string(c + 1) + ": " + name + " up");
+          record("flap cycle " + std::to_string(c + 1) + ": " + name + " up",
+                 Phase::kRecover);
         });
         t += e.down_period + e.up_period;
       }
@@ -200,7 +211,7 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
       });
       arm(e.at + e.duration, [this, links, name] {
         for (const auto& st : links) st->burst_enabled = false;
-        record("burst loss ends on " + name);
+        record("burst loss ends on " + name, Phase::kRecover);
       });
       break;
     }
@@ -220,7 +231,7 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
           st->rm_loss = 0.0;
           st->rm_corrupt = 0.0;
         }
-        record("RM fault ends on " + name);
+        record("RM fault ends on " + name, Phase::kRecover);
       });
       break;
     }
@@ -235,7 +246,8 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
       });
       arm(e.at + e.duration, [this, links, name] {
         for (const auto& st : links) st->rm_loss = 0.0;
-        record("feedback blackhole ends on " + name + " (restored)");
+        record("feedback blackhole ends on " + name + " (restored)",
+               Phase::kRecover);
       });
       break;
     }
@@ -312,7 +324,8 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
       arm(e.at, [this, s] {
         check_session_live(s, "at activation");
         net_->set_session_behavior(s, atm::SourceBehavior::kCompliant);
-        record("session " + std::to_string(s) + " returns to compliance");
+        record("session " + std::to_string(s) + " returns to compliance",
+               Phase::kRecover);
       });
       break;
     }
@@ -326,7 +339,7 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
       if (!e.duration.is_zero()) {
         arm(e.at + e.duration, [this] {
           net_->squeeze_buffers(1.0);
-          record("memory squeeze ends (budgets restored)");
+          record("memory squeeze ends (budgets restored)", Phase::kRecover);
         });
       }
       break;
@@ -363,7 +376,8 @@ void FaultInjector::schedule_event(const FaultEvent& e) {
             net_->teardown_session_state(s);
           }
           record("vc storm ends (" + std::to_string(admitted->size()) +
-                 " storm sessions torn down)");
+                     " storm sessions torn down)",
+                 Phase::kRecover);
         });
       }
       break;
@@ -397,6 +411,30 @@ void FaultInjector::apply(const FaultPlan& plan, ValidateMode mode) {
     }
   }
   for (const FaultEvent& e : plan.events) schedule_event(e);
+  if constexpr (obs::kObsEnabled) {
+    if (event_log_ != nullptr) {
+      for (const FaultEvent& e : plan.events) {
+        obs::Event armed;
+        armed.time = sim_->now();
+        armed.kind = obs::EventKind::kFaultArmed;
+        armed.label = event_log_->intern(e.describe());
+        event_log_->record(armed);
+      }
+    }
+  }
+}
+
+void FaultInjector::register_metrics(obs::Registry& reg,
+                                     const std::string& prefix) {
+  reg.add_counter({prefix + ".transitions_armed", "fault.transitions_armed",
+                   obs::MetricType::kCounter, "transitions", "FaultInjector",
+                   "fault transitions scheduled by apply() (each windowed "
+                   "fault contributes its fire and recover halves)"},
+                  [this] { return armed_.size(); });
+  reg.add_counter({prefix + ".transitions_fired", "fault.transitions_fired",
+                   obs::MetricType::kCounter, "transitions", "FaultInjector",
+                   "fault transitions that have taken effect so far"},
+                  [this] { return log_.size(); });
 }
 
 }  // namespace phantom::fault

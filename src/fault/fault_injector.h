@@ -8,6 +8,8 @@
 
 #include "atm/link.h"
 #include "fault/fault_plan.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "topo/abr_network.h"
 
@@ -69,7 +71,20 @@ class FaultInjector {
   /// Chronological log of the transitions that have fired so far.
   [[nodiscard]] const std::vector<AppliedFault>& log() const { return log_; }
 
+  /// Attaches the structured event log: apply() records a kFaultArmed
+  /// per scheduled event, and every transition records kFaultFired or
+  /// kFaultRecovered (the closing half of a windowed fault) alongside
+  /// the text log above. The log must outlive the injector's events.
+  void set_event_log(obs::EventLog* log) { event_log_ = log; }
+
+  /// Registers the injector's counters into `reg` under `prefix`:
+  /// transitions armed (scheduled by apply) and transitions fired.
+  void register_metrics(obs::Registry& reg, const std::string& prefix);
+
  private:
+  /// Which half of a fault a record() call reports: the disturbance
+  /// itself, or the transition that undoes it.
+  enum class Phase { kFire, kRecover };
   /// Link-state blocks a link-level fault acts on (1 for dest targets,
   /// 2 for trunks — forward + reverse).
   [[nodiscard]] std::vector<std::shared_ptr<atm::LinkState>> links_of(
@@ -92,12 +107,13 @@ class FaultInjector {
   /// ever sees allocation-free (and the heap-fallback perf counter at
   /// zero) without copying the heavy state per scheduled event.
   void arm(sim::Time at, std::function<void()> action);
-  void record(const std::string& description);
+  void record(const std::string& description, Phase phase = Phase::kFire);
 
   sim::Simulator* sim_;
   topo::AbrNetwork* net_;
   std::vector<AppliedFault> log_;
   std::vector<std::function<void()>> armed_;  // one entry per transition
+  obs::EventLog* event_log_ = nullptr;
 };
 
 }  // namespace phantom::fault

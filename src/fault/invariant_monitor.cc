@@ -53,8 +53,11 @@ void InvariantMonitor::enable_fair_share_check(FairShareOptions options) {
 }
 
 void InvariantMonitor::add(const char* invariant, std::string detail) {
-  violations_.push_back(
-      InvariantViolation{sim_->now(), invariant, std::move(detail)});
+  InvariantViolation v{sim_->now(), invariant, std::move(detail), {}};
+  if (event_log_ != nullptr) {
+    v.recent_events = event_log_->tail_jsonl(flight_depth_);
+  }
+  violations_.push_back(std::move(v));
 }
 
 void InvariantMonitor::check_time_monotonic() {

@@ -22,6 +22,10 @@ struct InvariantViolation {
   sim::Time time;
   std::string invariant;  ///< short id, e.g. "cell-conservation"
   std::string detail;     ///< human-readable specifics with the numbers
+  /// Flight recorder: the last few structured events (JSONL, oldest
+  /// first) preceding the violation. Empty unless an obs::EventLog was
+  /// attached to the monitor.
+  std::vector<std::string> recent_events;
 };
 
 /// Periodically verifies, across the whole network:
@@ -117,6 +121,14 @@ class InvariantMonitor {
   }
   [[nodiscard]] std::uint64_t checks_run() const { return checks_; }
 
+  /// Attaches a flight recorder: each violation captures the event
+  /// log's last `depth` records at detection time (see
+  /// InvariantViolation::recent_events).
+  void set_event_log(const obs::EventLog* log, std::size_t depth = 16) {
+    event_log_ = log;
+    flight_depth_ = depth;
+  }
+
  private:
   void tick();
   void check_conservation();
@@ -148,6 +160,9 @@ class InvariantMonitor {
   std::vector<std::uint64_t> mcr_prev_delivered_;  // parallel to sessions
 
   std::vector<std::uint64_t> prev_refused_;  // per switch, grows on demand
+
+  const obs::EventLog* event_log_ = nullptr;
+  std::size_t flight_depth_ = 16;
 };
 
 }  // namespace phantom::fault

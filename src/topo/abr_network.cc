@@ -3,6 +3,7 @@
 #include <cassert>
 #include <limits>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "atm/link.h"
 
@@ -19,7 +20,31 @@ AbrNetwork::AbrNetwork(sim::Simulator& sim, ControllerFactory factory)
 
 AbrNetwork::SwitchId AbrNetwork::add_switch(std::string name) {
   switches_.push_back(std::make_unique<atm::Switch>(*sim_, std::move(name)));
-  return switches_.size() - 1;
+  const SwitchId id = switches_.size() - 1;
+  if (event_log_ != nullptr) {
+    switches_.back()->set_event_log(event_log_, static_cast<int>(id));
+  }
+  return id;
+}
+
+void AbrNetwork::attach_event_log(obs::EventLog* log) {
+  event_log_ = log;
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    switches_[i]->set_event_log(log, static_cast<int>(i));
+  }
+  for (auto& source : sources_) source->set_event_log(log);
+}
+
+void AbrNetwork::register_metrics(obs::Registry& reg) {
+  std::unordered_map<std::string, int> seen;
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    std::string prefix = switches_[i]->name();
+    if (seen[prefix]++ > 0) prefix += "#" + std::to_string(i);
+    switches_[i]->register_metrics(reg, prefix);
+  }
+  for (std::size_t s = 0; s < sources_.size(); ++s) {
+    sources_[s]->register_metrics(reg, "session" + std::to_string(s));
+  }
 }
 
 std::size_t AbrNetwork::add_port(SwitchId at, atm::CellSink& sink,
@@ -137,6 +162,7 @@ AbrNetwork::SessionId AbrNetwork::add_session(SwitchId ingress,
     }
   }
 
+  if (event_log_ != nullptr) source->set_event_log(event_log_);
   sources_.push_back(std::move(source));
   sessions_.push_back(Session{ingress, path, dest, vc});
   session_demand_bps_.push_back(std::numeric_limits<double>::infinity());

@@ -17,6 +17,8 @@
 #include "atm/abr_source.h"
 #include "atm/port_controller.h"
 #include "atm/switch.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "stats/fairness.h"
 
@@ -231,6 +233,19 @@ class AbrNetwork {
   /// budget to `fraction` of its configured size (1.0 restores).
   void squeeze_buffers(double fraction);
 
+  // --- Observability ---
+
+  /// Attaches the structured event log to every switch (node index =
+  /// SwitchId) and every source, including ones added later. Pass
+  /// nullptr to detach. The log must outlive the network.
+  void attach_event_log(obs::EventLog* log);
+
+  /// Registers every switch's metrics (prefix = the switch's name,
+  /// deduplicated with "#<id>" on collision) and every session source's
+  /// (prefix = "session<i>") into `reg`. Call once, after the topology
+  /// is built; sessions added afterwards are not registered.
+  void register_metrics(obs::Registry& reg);
+
   /// CAC counters summed over all switches (a session crossing k armed
   /// switches counts up to k admissions; a refusal counts once, at the
   /// switch that refused).
@@ -302,6 +317,7 @@ class AbrNetwork {
   int next_vc_ = 0;
   bool overload_ = false;
   OverloadOptions overload_options_;
+  obs::EventLog* event_log_ = nullptr;
 };
 
 }  // namespace phantom::topo

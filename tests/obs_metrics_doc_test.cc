@@ -1,0 +1,47 @@
+// docs/METRICS.md drift gate: the checked-in reference must match the
+// generator byte for byte. If this fails you added/changed a metric
+// without regenerating the doc:
+//   ./build/examples/phantom_cli --metrics-doc > docs/METRICS.md
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/metrics_doc.h"
+
+#ifndef PHANTOM_SOURCE_DIR
+#error "build must define PHANTOM_SOURCE_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace phantom {
+namespace {
+
+TEST(MetricsDocTest, CanonicalDefsAreNonEmptyAndUnique) {
+  const auto defs = exp::canonical_metric_defs();
+  ASSERT_GT(defs.size(), 30u);  // the full stack registers a lot
+  for (std::size_t i = 1; i < defs.size(); ++i) {
+    EXPECT_NE(defs[i].id, defs[i - 1].id);
+    EXPECT_FALSE(defs[i].help.empty()) << defs[i].id;
+    EXPECT_FALSE(defs[i].unit.empty()) << defs[i].id;
+  }
+}
+
+TEST(MetricsDocTest, GeneratorIsDeterministic) {
+  EXPECT_EQ(exp::metrics_reference_markdown(),
+            exp::metrics_reference_markdown());
+}
+
+TEST(MetricsDocTest, CheckedInReferenceMatchesGenerator) {
+  const std::string path = std::string{PHANTOM_SOURCE_DIR} + "/docs/METRICS.md";
+  std::ifstream in{path, std::ios::binary};
+  ASSERT_TRUE(in) << "missing " << path;
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), exp::metrics_reference_markdown())
+      << "docs/METRICS.md is stale — regenerate with:\n"
+         "  ./build/examples/phantom_cli --metrics-doc > docs/METRICS.md";
+}
+
+}  // namespace
+}  // namespace phantom

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link checker (the CI docs-check job).
+
+Scans markdown files for inline links/images `[text](target)` and
+verifies every *intra-repo* target resolves:
+
+  - relative paths must exist on disk (relative to the linking file);
+  - `#anchor` fragments — bare or on a markdown target — must match a
+    heading in the addressed file (GitHub slugification);
+  - external schemes (http/https/mailto) are skipped, not fetched.
+
+Usage:
+  python3 tools/check_markdown_links.py [FILE_OR_DIR ...]
+
+With no arguments checks the repo's operator-facing set: README.md,
+DESIGN.md, EXPERIMENTS.md, and every .md under docs/. Exits 1 and
+prints file:line for each dead link.
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target "title") — target stops at whitespace or the closing
+# paren; images share the syntax behind a '!'.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)       # unwrap inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def headings_of(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            slugs.add(github_slug(m.group(1)))
+    return slugs
+
+
+def links_of(path: Path):
+    """Yields (line_number, target) for every inline link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(path: Path, heading_cache: dict[Path, set[str]]) -> list[str]:
+    errors = []
+    for lineno, target in links_of(path):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = path if not file_part else (path.parent / file_part).resolve()
+        if not dest.exists():
+            errors.append(f"{path}:{lineno}: dead link: {target}")
+            continue
+        if anchor and dest.suffix == ".md":
+            if dest not in heading_cache:
+                heading_cache[dest] = headings_of(dest)
+            if anchor.lower() not in heading_cache[dest]:
+                errors.append(f"{path}:{lineno}: dead anchor: {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        roots = [Path(a) for a in argv]
+    else:
+        roots = [
+            REPO_ROOT / "README.md",
+            REPO_ROOT / "DESIGN.md",
+            REPO_ROOT / "EXPERIMENTS.md",
+            REPO_ROOT / "docs",
+        ]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.md")))
+        elif root.exists():
+            files.append(root)
+        else:
+            print(f"no such file: {root}", file=sys.stderr)
+            return 2
+
+    heading_cache: dict[Path, set[str]] = {}
+    errors: list[str] = []
+    for f in files:
+        errors.extend(check_file(f, heading_cache))
+    for e in errors:
+        print(e, file=sys.stderr)
+    checked = len(files)
+    if errors:
+        print(f"{len(errors)} dead link(s) across {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"ok: {checked} markdown file(s), no dead intra-repo links")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
